@@ -1,0 +1,164 @@
+//! Criterion benches: one group per paper table/figure, each benchmarking
+//! the simulation workload that regenerates that artifact (at reduced
+//! spatial scale so `cargo bench` completes in minutes — the full-scale
+//! figures come from `repro`, which caches its grid under `results/`).
+//!
+//! The benchmarked quantity is host time to run the cycle-accurate
+//! simulation; the *figures themselves* report simulated cycles, which are
+//! independent of host speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lv_bench::grid::{paper2_points, run_points, table1_layers, SimPoint};
+use lv_bench::selector::{dataset_from_grid, evaluate_selector};
+use lv_conv::{Algo, ALL_ALGOS};
+use lv_forest::ForestParams;
+use lv_models::measure_layer;
+use lv_sim::MachineConfig;
+
+const SCALE: f64 = 0.12;
+
+fn layer(model: &str, n: usize) -> lv_tensor::ConvShape {
+    table1_layers(SCALE)
+        .into_iter()
+        .find(|(m, l, _)| m == model && *l == n)
+        .map(|(_, _, s)| s)
+        .expect("layer exists")
+}
+
+/// Table 1 / Figs. 1-2: per-layer algorithm comparison at the 512b/1MB
+/// baseline.
+fn bench_fig1_2_per_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_2_per_layer_baseline");
+    g.sample_size(10);
+    let cfg = MachineConfig::rvv_integrated(512, 1);
+    let s = layer("vgg16", 5);
+    for algo in ALL_ALGOS {
+        if !algo.applicable(&s) {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            b.iter(|| black_box(measure_layer(&cfg, &s, a).unwrap().cycles))
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 3-4: vector-length scaling of the Direct kernel.
+fn bench_fig3_4_vl_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_4_vector_length_scaling");
+    g.sample_size(10);
+    let s = layer("yolov3-20", 4);
+    for vlen in [512usize, 2048, 4096] {
+        let cfg = MachineConfig::rvv_integrated(vlen, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(vlen), &cfg, |b, cfg| {
+            b.iter(|| black_box(measure_layer(cfg, &s, Algo::Direct).unwrap().cycles))
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 5-8: L2 scaling of the 3-loop GEMM (the cache-sensitive kernel).
+fn bench_fig5_8_cache_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_8_cache_scaling");
+    g.sample_size(10);
+    let s = layer("vgg16", 8);
+    for l2 in [1usize, 16, 64] {
+        let cfg = MachineConfig::rvv_integrated(512, l2);
+        g.bench_with_input(BenchmarkId::from_parameter(l2), &cfg, |b, cfg| {
+            b.iter(|| black_box(measure_layer(cfg, &s, Algo::Gemm3).unwrap().cycles))
+        });
+    }
+    g.finish();
+}
+
+/// §4.3 / Figs. 9-10: dataset construction + random-forest training +
+/// cross-validation (the selector pipeline).
+fn bench_selector_train_predict(c: &mut Criterion) {
+    // Build a small grid once; bench the ML pipeline on it.
+    let pts: Vec<SimPoint> = paper2_points(0.06)
+        .into_iter()
+        .filter(|p| p.model == "vgg16" && p.layer <= 6)
+        .collect();
+    let rows = run_points(pts, false);
+    let mut g = c.benchmark_group("selector_pipeline");
+    g.sample_size(10);
+    g.bench_function("dataset_from_grid", |b| {
+        b.iter(|| black_box(dataset_from_grid(&rows).0.len()))
+    });
+    g.bench_function("forest_5fold_cv", |b| {
+        b.iter(|| {
+            let eval = evaluate_selector(&rows, ForestParams { n_trees: 25, ..Default::default() });
+            black_box(eval.cv.mean_accuracy)
+        })
+    });
+    g.finish();
+}
+
+/// Figs. 11-12: area model + Pareto frontier extraction.
+fn bench_fig11_12_pareto(c: &mut Criterion) {
+    use lv_area::{chip_area_mm2, pareto_frontier, DesignPoint};
+    let pts: Vec<DesignPoint> = (0..200)
+        .map(|i| DesignPoint {
+            label: format!("p{i}"),
+            area: chip_area_mm2(1 + i % 4, 512 << (i % 4), 1 + (i % 5) * 13),
+            cost: ((i * 2654435761) % 100000) as f64 + 1.0,
+        })
+        .collect();
+    c.bench_function("fig11_12_pareto_frontier", |b| {
+        b.iter(|| black_box(pareto_frontier(&pts).len()))
+    });
+}
+
+/// Paper I Table II: 6-loop GEMM packing/blocking machinery.
+fn bench_p1_blocks_gemm6(c: &mut Criterion) {
+    use lv_conv::{gemm6, Gemm6Blocking};
+    use lv_sim::Machine;
+    use lv_tensor::{pseudo_buf, pseudo_weights};
+    let s = layer("yolov3-20", 4);
+    let input = pseudo_buf(s.input_len(), 1);
+    let w = pseudo_weights(s.weight_len(), s.ic * 9, 2);
+    let mut g = c.benchmark_group("p1_blocks_gemm6");
+    g.sample_size(10);
+    for blk in [Gemm6Blocking::paper(), Gemm6Blocking::new(16, 1024, 128)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}x{}", blk.mc, blk.nc, blk.kc)),
+            &blk,
+            |b, blk| {
+                b.iter(|| {
+                    let mut m = Machine::new(MachineConfig::rvv_decoupled(512, 1));
+                    let mut out = vec![0.0f32; s.output_len()];
+                    gemm6::run(&mut m, &s, &input, &w, &mut out, blk);
+                    black_box(m.cycles())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Raw simulator throughput: the Winograd kernel (most instruction-dense).
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let s = lv_tensor::ConvShape::same_pad(16, 16, 36, 3, 1);
+    let cfg = MachineConfig::rvv_integrated(2048, 1);
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(s.macs()));
+    g.bench_function("winograd_macs_per_sec", |b| {
+        b.iter(|| black_box(measure_layer(&cfg, &s, Algo::Winograd).unwrap().cycles))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_2_per_layer,
+    bench_fig3_4_vl_scaling,
+    bench_fig5_8_cache_scaling,
+    bench_selector_train_predict,
+    bench_fig11_12_pareto,
+    bench_p1_blocks_gemm6,
+    bench_simulator_throughput,
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! repro <experiment> [--scale S] [--force] [--out DIR]
+//! repro all            # every Paper II experiment
+//! repro grid           # (re)compute the Paper II measurement grid
+//! repro p1grid         # (re)compute the Paper I sweeps
+//! ```
+//! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
+//! selector fig9 fig10 fig11 fig12 p1-blocks p1-vl p1-cache p1-lanes
+//! p1-winograd p1-pareto p1-naive
+
+use lv_bench::grid;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment|all|grid|p1grid> [--scale S] [--force]");
+        std::process::exit(2);
+    }
+    let cmd = args[0].clone();
+    let mut scale = 1.0f64;
+    let mut force = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args[i + 1].parse().expect("bad --scale");
+                i += 2;
+            }
+            "--force" => {
+                force = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    run(&cmd, scale, force);
+}
+
+fn run(cmd: &str, scale: f64, force: bool) {
+    match cmd {
+        "grid" => {
+            let rows = grid::ensure_grid("grid", scale, force, true);
+            println!("grid ready: {} rows", rows.len());
+        }
+        "p1grid" => {
+            let rows = grid::ensure_grid("p1grid", scale, force, true);
+            println!("p1grid ready: {} rows", rows.len());
+        }
+        other => lv_bench::figures::run_experiment(other, scale, force),
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal ASCII charting for terminal figure output.
+
+/// Render labeled horizontal bars scaled to `width` columns. Values are
+/// annotated verbatim with `unit`.
+pub fn hbar_chart(title: &str, rows: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!("  {label:<label_w$} |{} {v:.4}{unit}\n", "█".repeat(n)));
+    }
+    out
+}
+
+/// Render a small fixed-precision table: `header` then rows of cells.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, c) in widths.iter_mut().zip(r) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let line = |cells: Vec<String>| -> String {
+        let mut s = String::from("  ");
+        for (c, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!("{c:>w$}  "));
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = line(header.iter().map(|s| s.to_string()).collect());
+    out.push_str(&line(widths.iter().map(|w| "-".repeat(*w)).collect()));
+    for r in rows {
+        out.push_str(&line(r.clone()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let c = hbar_chart("t", &[("a".into(), 1.0), ("b".into(), 2.0)], 10, "s");
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[2].matches('█').count() == 10);
+        assert!(lines[1].matches('█').count() == 5);
+    }
+
+    #[test]
+    fn table_aligns() {
+        let t = table(&["x", "yyy"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("yyy"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! # lv-bench — the experiment harness
+//!
+//! One entry point per table/figure of the paper (see `DESIGN.md` for the
+//! experiment index). The heavy lifting is a cached measurement grid
+//! ([`grid`]); figure generators aggregate it into the paper's tables and
+//! ASCII charts. Run via the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p lv-bench --bin repro -- all --scale 1.0
+//! cargo run --release -p lv-bench --bin repro -- fig9
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod figures;
+pub mod grid;
+pub mod selector;
+pub mod verify;

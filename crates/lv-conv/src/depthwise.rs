@@ -1,0 +1,245 @@
+//! Depthwise and depthwise-separable convolutions — the kernel family the
+//! paper names as future work ("we will also consider alternative …
+//! computational kernels, such as point-wise and depth-wise convolutions").
+//!
+//! A depthwise convolution applies one `k x k` filter per channel
+//! (`groups = channels`); MobileNet-style blocks chain it with a pointwise
+//! (1x1) convolution. Depthwise layers have very low arithmetic intensity
+//! (no input-channel reduction), which makes them an interesting stressor
+//! for the co-design study: the vector unit is easy to fill spatially, but
+//! there is almost no data reuse for caches to exploit.
+//!
+//! The kernel is spatially vectorized in NCHW (a row of outputs per vector,
+//! one scalar weight broadcast per tap), with output rows unrolled so each
+//! loaded input row vector is reused across the `ky` taps that touch it.
+
+use lv_sim::{Machine, VReg};
+use lv_tensor::{AlignedVec, ConvShape};
+
+use crate::im2col::pad_nchw;
+
+/// Geometry of a depthwise layer: `channels` planes, square kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthwiseShape {
+    /// Channels (= groups).
+    pub channels: usize,
+    /// Input height/width (square).
+    pub hw: usize,
+    /// Kernel size (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl DepthwiseShape {
+    /// Output height/width with "same" padding.
+    pub fn ohw(&self) -> usize {
+        (self.hw + 2 * (self.k / 2) - self.k) / self.stride + 1
+    }
+
+    /// Elements in the input tensor.
+    pub fn input_len(&self) -> usize {
+        self.channels * self.hw * self.hw
+    }
+
+    /// Elements in the output tensor.
+    pub fn output_len(&self) -> usize {
+        self.channels * self.ohw() * self.ohw()
+    }
+
+    /// Weights: one k x k filter per channel.
+    pub fn weight_len(&self) -> usize {
+        self.channels * self.k * self.k
+    }
+
+    /// MAC count.
+    pub fn macs(&self) -> u64 {
+        (self.output_len() * self.k * self.k) as u64
+    }
+}
+
+const VX: VReg = VReg(8);
+
+/// Depthwise convolution, NCHW, weights `[c][ky][kx]`, "same" padding.
+pub fn run_depthwise(
+    m: &mut Machine,
+    s: &DepthwiseShape,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+) {
+    assert_eq!(input.len(), s.input_len());
+    assert_eq!(weights.len(), s.weight_len());
+    assert_eq!(output.len(), s.output_len());
+    let pad = s.k / 2;
+    let (ph, pw) = (s.hw + 2 * pad, s.hw + 2 * pad);
+    let padded = pad_nchw(m, s.channels, s.hw, s.hw, input, ph, pw, pad, pad);
+    let ohw = s.ohw();
+    for c in 0..s.channels {
+        for oy in 0..ohw {
+            let mut ox = 0;
+            while ox < ohw {
+                let vl = m.vsetvl(ohw - ox);
+                m.vfmv_v_f(VReg(0), 0.0);
+                for ky in 0..s.k {
+                    let row = (c * ph + oy * s.stride + ky) * pw;
+                    for kx in 0..s.k {
+                        let base = row + ox * s.stride + kx;
+                        if s.stride == 1 {
+                            m.vle32(VX, &padded[base..]);
+                        } else {
+                            m.vlse32(VX, &padded[base..], s.stride);
+                        }
+                        let wv = m.scalar_load_hidden(weights, (c * s.k + ky) * s.k + kx);
+                        m.vfmacc_vf(VReg(0), wv, VX);
+                    }
+                }
+                m.vse32(VReg(0), &mut output[(c * ohw + oy) * ohw + ox..]);
+                m.scalar_ops(4);
+                ox += vl;
+            }
+        }
+    }
+}
+
+/// A depthwise-separable block: depthwise `k x k` over `cin` channels,
+/// then pointwise 1x1 `cin -> cout` (run through the selected dense
+/// algorithm). Returns the pointwise shape used, for reporting.
+pub fn run_separable(
+    m: &mut Machine,
+    cin: usize,
+    cout: usize,
+    hw: usize,
+    k: usize,
+    stride: usize,
+    input: &[f32],
+    dw_weights: &[f32],
+    pw_weights: &crate::PreparedWeights,
+    output: &mut [f32],
+) -> ConvShape {
+    let dw = DepthwiseShape { channels: cin, hw, k, stride };
+    let mut mid = AlignedVec::zeroed(dw.output_len());
+    run_depthwise(m, &dw, input, dw_weights, &mut mid);
+    let pw = ConvShape::same_pad(cin, cout, dw.ohw(), 1, 1);
+    crate::run_conv(m, pw_weights.algo, &pw, &mid, pw_weights, output);
+    pw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare_weights, Algo};
+    use lv_sim::MachineConfig;
+    use lv_tensor::{max_rel_error, pseudo_buf};
+
+    /// Scalar golden depthwise convolution.
+    fn reference(s: &DepthwiseShape, input: &[f32], w: &[f32]) -> Vec<f32> {
+        let pad = s.k / 2;
+        let ohw = s.ohw();
+        let mut out = vec![0.0f32; s.output_len()];
+        for c in 0..s.channels {
+            for oy in 0..ohw {
+                for ox in 0..ohw {
+                    let mut acc = 0.0;
+                    for ky in 0..s.k {
+                        for kx in 0..s.k {
+                            let iy = (oy * s.stride + ky) as isize - pad as isize;
+                            let ix = (ox * s.stride + kx) as isize - pad as isize;
+                            if iy < 0 || ix < 0 || iy >= s.hw as isize || ix >= s.hw as isize {
+                                continue;
+                            }
+                            acc += input[(c * s.hw + iy as usize) * s.hw + ix as usize]
+                                * w[(c * s.k + ky) * s.k + kx];
+                        }
+                    }
+                    out[(c * ohw + oy) * ohw + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference() {
+        for (s, vlen) in [
+            (DepthwiseShape { channels: 4, hw: 14, k: 3, stride: 1 }, 512),
+            (DepthwiseShape { channels: 3, hw: 15, k: 3, stride: 2 }, 1024),
+            (DepthwiseShape { channels: 2, hw: 11, k: 5, stride: 1 }, 4096),
+        ] {
+            let input = pseudo_buf(s.input_len(), 51);
+            let w = pseudo_buf(s.weight_len(), 52);
+            let mut out = vec![0.0f32; s.output_len()];
+            let mut m = Machine::new(MachineConfig::rvv_integrated(vlen, 1));
+            run_depthwise(&mut m, &s, &input, &w, &mut out);
+            let err = max_rel_error(&out, &reference(&s, &input, &w));
+            assert!(err < 1e-3, "err {err} for {s:?}");
+        }
+    }
+
+    #[test]
+    fn separable_block_matches_composition() {
+        // depthwise -> pointwise must equal running the two references.
+        let (cin, cout, hw) = (6, 10, 12);
+        let input = pseudo_buf(cin * hw * hw, 1);
+        let dw_w = pseudo_buf(cin * 9, 2);
+        let pw_shape = ConvShape::same_pad(cin, cout, hw, 1, 1);
+        let pw_w = pseudo_buf(pw_shape.weight_len(), 3);
+        let prepared = prepare_weights(Algo::Gemm3, &pw_shape, &pw_w);
+        let mut out = vec![0.0f32; pw_shape.output_len()];
+        let mut m = Machine::new(MachineConfig::rvv_integrated(1024, 1));
+        run_separable(&mut m, cin, cout, hw, 3, 1, &input, &dw_w, &prepared, &mut out);
+
+        let dw = DepthwiseShape { channels: cin, hw, k: 3, stride: 1 };
+        let mid = reference(&dw, &input, &dw_w);
+        let want = lv_tensor::conv2d_reference(&pw_shape, &mid, &pw_w);
+        assert!(max_rel_error(&out, &want) < 1e-3);
+    }
+
+    #[test]
+    fn separable_cheaper_than_dense_conv() {
+        // The MobileNet premise, measured on the machine: a separable
+        // 3x3 block costs far fewer cycles than the dense 3x3 conv of the
+        // same in/out channels.
+        let (cin, cout, hw) = (32, 64, 38);
+        let cfg = MachineConfig::rvv_integrated(1024, 1);
+        let input = pseudo_buf(cin * hw * hw, 1);
+
+        let dense = ConvShape::same_pad(cin, cout, hw, 3, 1);
+        let dense_w = pseudo_buf(dense.weight_len(), 2);
+        let p = prepare_weights(Algo::Gemm6, &dense, &dense_w);
+        let mut out = vec![0.0f32; dense.output_len()];
+        let mut m1 = Machine::new(cfg);
+        crate::run_conv(&mut m1, Algo::Gemm6, &dense, &input, &p, &mut out);
+
+        let dw_w = pseudo_buf(cin * 9, 3);
+        let pw_shape = ConvShape::same_pad(cin, cout, hw, 1, 1);
+        let pw_w = pseudo_buf(pw_shape.weight_len(), 4);
+        let pp = prepare_weights(Algo::Gemm6, &pw_shape, &pw_w);
+        let mut out2 = vec![0.0f32; pw_shape.output_len()];
+        let mut m2 = Machine::new(cfg);
+        run_separable(&mut m2, cin, cout, hw, 3, 1, &input, &dw_w, &pp, &mut out2);
+
+        assert!(
+            m2.cycles() * 3 < m1.cycles(),
+            "separable {} should be >3x cheaper than dense {}",
+            m2.cycles(),
+            m1.cycles()
+        );
+    }
+
+    #[test]
+    fn depthwise_is_cache_insensitive() {
+        // No channel reduction -> no reuse for a big L2 to capture.
+        let s = DepthwiseShape { channels: 64, hw: 56, k: 3, stride: 1 };
+        let input = pseudo_buf(s.input_len(), 1);
+        let w = pseudo_buf(s.weight_len(), 2);
+        let run_at = |l2: usize| {
+            let mut out = vec![0.0f32; s.output_len()];
+            let mut m = Machine::new(MachineConfig::rvv_integrated(512, l2));
+            run_depthwise(&mut m, &s, &input, &w, &mut out);
+            m.cycles()
+        };
+        let gain = run_at(1) as f64 / run_at(64) as f64;
+        assert!(gain < 1.15, "depthwise should not need big caches, gain {gain:.2}x");
+    }
+}

@@ -1,0 +1,409 @@
+//! FFT convolution — the fourth algorithm family.
+//!
+//! The paper excludes FFT because "large kernel sizes are not common in
+//! modern CNNs"; this module implements it anyway so the exclusion is
+//! *measured* (see `repro ablation-fft`): per-channel 2-D real FFTs of the
+//! zero-padded input, frequency-domain pointwise accumulation over input
+//! channels, and an inverse transform per output channel. Kernel FFTs run
+//! offline (host side), mirroring the offline Winograd weight transform.
+//!
+//! Vectorization: the column FFT pairs *rows* of the plane in radix-2
+//! butterflies, so every butterfly is an elementwise vector operation over
+//! a full row (one twiddle scalar per row pair); the row FFT is a plane
+//! transpose (strided loads) around the same column transform. This is the
+//! natural long-vector formulation and keeps the average consumed VL at
+//! the plane width.
+
+use lv_sim::{Machine, VReg};
+use lv_tensor::{AlignedVec, ConvShape};
+
+/// FFT plane size for a layer: next power of two covering the linear
+/// convolution (`dim + k - 1`).
+pub fn plane_size(s: &ConvShape) -> usize {
+    let need = (s.ih + s.kh - 1).max(s.iw + s.kw - 1);
+    need.next_power_of_two()
+}
+
+// ------------------------------------------------------- host-side FFT
+
+fn host_fft1d(re: &mut [f32], im: &mut [f32], invert: bool) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if invert { 1.0f64 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        for base in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let (wr, wi) = ((ang * k as f64).cos() as f32, (ang * k as f64).sin() as f32);
+                let (i, j) = (base + k, base + k + len / 2);
+                let tr = wr * re[j] - wi * im[j];
+                let ti = wr * im[j] + wi * re[j];
+                re[j] = re[i] - tr;
+                im[j] = im[i] - ti;
+                re[i] += tr;
+                im[i] += ti;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+fn host_fft2d(re: &mut [f32], im: &mut [f32], p: usize, invert: bool) {
+    let mut tr = vec![0.0f32; p];
+    let mut ti = vec![0.0f32; p];
+    for r in 0..p {
+        host_fft1d(&mut re[r * p..(r + 1) * p], &mut im[r * p..(r + 1) * p], invert);
+    }
+    for c in 0..p {
+        for r in 0..p {
+            tr[r] = re[r * p + c];
+            ti[r] = im[r * p + c];
+        }
+        host_fft1d(&mut tr, &mut ti, invert);
+        for r in 0..p {
+            re[r * p + c] = tr[r];
+            im[r * p + c] = ti[r];
+        }
+    }
+}
+
+/// Offline weight transform: per (oc, ic), the 2-D FFT of the spatially
+/// flipped kernel in a `P x P` plane. Layout `[oc][ic][re-plane, im-plane]`.
+pub fn transform_weights(s: &ConvShape, w_oihw: &[f32]) -> AlignedVec {
+    let p = plane_size(s);
+    let mut out = AlignedVec::zeroed(s.oc * s.ic * 2 * p * p);
+    let mut re = vec![0.0f32; p * p];
+    let mut im = vec![0.0f32; p * p];
+    for oc in 0..s.oc {
+        for ic in 0..s.ic {
+            re.fill(0.0);
+            im.fill(0.0);
+            // Flipped kernel (correlation via convolution).
+            for ky in 0..s.kh {
+                for kx in 0..s.kw {
+                    re[(s.kh - 1 - ky) * p + (s.kw - 1 - kx)] =
+                        w_oihw[((oc * s.ic + ic) * s.kh + ky) * s.kw + kx];
+                }
+            }
+            host_fft2d(&mut re, &mut im, p, false);
+            let base = (oc * s.ic + ic) * 2 * p * p;
+            out[base..base + p * p].copy_from_slice(&re);
+            out[base + p * p..base + 2 * p * p].copy_from_slice(&im);
+        }
+    }
+    out
+}
+
+// --------------------------------------------------- machine-side FFT
+
+const R_I: VReg = VReg(0);
+const I_I: VReg = VReg(1);
+const R_K: VReg = VReg(2);
+const I_K: VReg = VReg(3);
+const T_R: VReg = VReg(4);
+const T_I: VReg = VReg(5);
+
+/// Butterfly two rows of the complex plane with a scalar twiddle,
+/// elementwise over the row (vector-length agnostic).
+#[allow(clippy::too_many_arguments)]
+fn butterfly_rows(
+    m: &mut Machine,
+    re: &mut [f32],
+    im: &mut [f32],
+    p: usize,
+    row_i: usize,
+    row_k: usize,
+    wr: f32,
+    wi: f32,
+) {
+    debug_assert!(row_i < row_k);
+    let (re_a, re_b) = re.split_at_mut(row_k * p);
+    let (im_a, im_b) = im.split_at_mut(row_k * p);
+    let ri = &mut re_a[row_i * p..row_i * p + p];
+    let rk = &mut re_b[..p];
+    let ii = &mut im_a[row_i * p..row_i * p + p];
+    let ik = &mut im_b[..p];
+    let mut x = 0;
+    while x < p {
+        let vl = m.vsetvl(p - x);
+        m.vle32(R_I, &ri[x..]);
+        m.vle32(I_I, &ii[x..]);
+        m.vle32(R_K, &rk[x..]);
+        m.vle32(I_K, &ik[x..]);
+        // t = w * b
+        m.vfmul_vf(T_R, wr, R_K);
+        m.vfmacc_vf(T_R, -wi, I_K);
+        m.vfmul_vf(T_I, wr, I_K);
+        m.vfmacc_vf(T_I, wi, R_K);
+        // b' = a - t; a' = a + t
+        m.vfsub_vv(R_K, R_I, T_R);
+        m.vfsub_vv(I_K, I_I, T_I);
+        m.vfadd_vv(R_I, R_I, T_R);
+        m.vfadd_vv(I_I, I_I, T_I);
+        m.vse32(R_K, &mut rk[x..]);
+        m.vse32(I_K, &mut ik[x..]);
+        m.vse32(R_I, &mut ri[x..]);
+        m.vse32(I_I, &mut ii[x..]);
+        x += vl;
+    }
+    m.scalar_ops(4);
+}
+
+/// Swap two plane rows through a vector register (bit-reversal step).
+fn swap_rows(m: &mut Machine, plane: &mut [f32], p: usize, a: usize, b: usize) {
+    debug_assert!(a < b);
+    let (pa, pb) = plane.split_at_mut(b * p);
+    let ra = &mut pa[a * p..a * p + p];
+    let rb = &mut pb[..p];
+    let mut x = 0;
+    while x < p {
+        let vl = m.vsetvl(p - x);
+        m.vle32(R_I, &ra[x..]);
+        m.vle32(R_K, &rb[x..]);
+        m.vse32(R_I, &mut rb[x..]);
+        m.vse32(R_K, &mut ra[x..]);
+        x += vl;
+    }
+}
+
+/// FFT of every column of the `p x p` complex plane (rows are paired by
+/// butterflies, so each operation is a full-row vector op).
+fn fft_cols(m: &mut Machine, re: &mut [f32], im: &mut [f32], p: usize, invert: bool) {
+    // Bit-reversal of row indices.
+    let mut j = 0usize;
+    for i in 1..p {
+        let mut bit = p >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            swap_rows(m, re, p, i, j);
+            swap_rows(m, im, p, i, j);
+        }
+        m.scalar_ops(3);
+    }
+    let sign = if invert { 1.0f64 } else { -1.0 };
+    let mut len = 2;
+    while len <= p {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        for base in (0..p).step_by(len) {
+            for k in 0..len / 2 {
+                let (wr, wi) = ((ang * k as f64).cos() as f32, (ang * k as f64).sin() as f32);
+                butterfly_rows(m, re, im, p, base + k, base + k + len / 2, wr, wi);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Transpose a plane (strided loads, contiguous stores).
+fn transpose_plane(m: &mut Machine, src: &[f32], dst: &mut [f32], p: usize) {
+    for r in 0..p {
+        let mut x = 0;
+        while x < p {
+            let vl = m.vsetvl(p - x);
+            m.vlse32(R_I, &src[(x * p) + r..], p);
+            m.vse32(R_I, &mut dst[r * p + x..]);
+            x += vl;
+        }
+        m.scalar_ops(2);
+    }
+}
+
+/// In-place-ish 2-D FFT: column FFT, transpose, column FFT, transpose back.
+fn fft2d(m: &mut Machine, re: &mut [f32], im: &mut [f32], scratch: &mut [f32], p: usize, invert: bool) {
+    fft_cols(m, re, im, p, invert);
+    transpose_plane(m, re, scratch, p);
+    re.copy_from_slice(scratch);
+    transpose_plane(m, im, scratch, p);
+    im.copy_from_slice(scratch);
+    fft_cols(m, re, im, p, invert);
+    transpose_plane(m, re, scratch, p);
+    re.copy_from_slice(scratch);
+    transpose_plane(m, im, scratch, p);
+    im.copy_from_slice(scratch);
+}
+
+/// FFT convolution: NCHW input/output, weights from [`transform_weights`].
+pub fn run(m: &mut Machine, s: &ConvShape, input: &[f32], w_f: &[f32], output: &mut [f32]) {
+    let p = plane_size(s);
+    let pp = p * p;
+    assert_eq!(w_f.len(), s.oc * s.ic * 2 * pp, "weights transformed for a different shape");
+    let (oh, ow) = (s.oh(), s.ow());
+    let (off_y, off_x) = (s.kh - 1 - s.pad, s.kw - 1 - s.pad);
+
+    // Phase 1: forward FFT of every input channel.
+    let mut ubuf = AlignedVec::zeroed(s.ic * 2 * pp);
+    let mut scratch = AlignedVec::zeroed(pp);
+    for ic in 0..s.ic {
+        let (ure, uim) = {
+            let chunk = &mut ubuf[ic * 2 * pp..(ic + 1) * 2 * pp];
+            let (a, b) = chunk.split_at_mut(pp);
+            (a, b)
+        };
+        // Copy the image into the zero plane (vectorized row copies).
+        for y in 0..s.ih {
+            let src = &input[(ic * s.ih + y) * s.iw..(ic * s.ih + y) * s.iw + s.iw];
+            let mut x = 0;
+            while x < s.iw {
+                let vl = m.vsetvl(s.iw - x);
+                m.vle32(R_I, &src[x..]);
+                m.vse32(R_I, &mut ure[y * p + x..]);
+                x += vl;
+            }
+        }
+        fft2d(m, ure, uim, &mut scratch, p, false);
+    }
+
+    // Phases 2+3: frequency-domain accumulation and inverse transform.
+    let mut acc_re = AlignedVec::zeroed(pp);
+    let mut acc_im = AlignedVec::zeroed(pp);
+    let (a_r, a_i, u_r, u_i, w_r, w_i) = (VReg(8), VReg(9), VReg(10), VReg(11), VReg(12), VReg(13));
+    for oc in 0..s.oc {
+        // Pointwise accumulate over input channels, chunk-outer so the
+        // accumulator stays in registers across the ic loop.
+        let mut x = 0;
+        while x < pp {
+            let vl = m.vsetvl(pp - x);
+            m.vfmv_v_f(a_r, 0.0);
+            m.vfmv_v_f(a_i, 0.0);
+            for ic in 0..s.ic {
+                let ub = ic * 2 * pp;
+                let wb = (oc * s.ic + ic) * 2 * pp;
+                m.vle32(u_r, &ubuf[ub + x..]);
+                m.vle32(u_i, &ubuf[ub + pp + x..]);
+                m.vle32(w_r, &w_f[wb + x..]);
+                m.vle32(w_i, &w_f[wb + pp + x..]);
+                // acc += U * W (complex multiply-accumulate).
+                m.vfmacc_vv(a_r, u_r, w_r);
+                m.vfnmsac_vv(a_r, u_i, w_i);
+                m.vfmacc_vv(a_i, u_r, w_i);
+                m.vfmacc_vv(a_i, u_i, w_r);
+            }
+            m.vse32(a_r, &mut acc_re[x..]);
+            m.vse32(a_i, &mut acc_im[x..]);
+            m.scalar_ops(2);
+            x += vl;
+        }
+        fft2d(m, &mut acc_re, &mut acc_im, &mut scratch, p, true);
+        // Crop + normalize into the NCHW output.
+        let norm = 1.0 / (pp as f32);
+        for oy in 0..oh {
+            let src_base = (oy + off_y) * p + off_x;
+            let dst_base = (oc * oh + oy) * ow;
+            let mut x = 0;
+            while x < ow {
+                let vl = m.vsetvl(ow - x);
+                m.vle32(R_I, &acc_re[src_base + x..]);
+                m.vfmul_vf(R_I, norm, R_I);
+                m.vse32(R_I, &mut output[dst_base + x..]);
+                x += vl;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_sim::MachineConfig;
+    use lv_tensor::{conv2d_reference, max_rel_error, pseudo_buf};
+
+    #[test]
+    fn host_fft_roundtrip() {
+        let n = 16;
+        let orig: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0f32; n];
+        host_fft1d(&mut re, &mut im, false);
+        host_fft1d(&mut re, &mut im, true);
+        for (a, &b) in re.iter().zip(&orig) {
+            assert!((a / n as f32 - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn machine_fft_matches_host() {
+        let p = 8;
+        let mut hre: Vec<f32> = (0..p * p).map(|i| ((i * 31) % 17) as f32 * 0.1).collect();
+        let mut him = vec![0.0f32; p * p];
+        let mut mre = AlignedVec::from_slice(&hre);
+        let mut mim = AlignedVec::zeroed(p * p);
+        let mut scratch = AlignedVec::zeroed(p * p);
+        host_fft2d(&mut hre, &mut him, p, false);
+        let mut m = Machine::new(MachineConfig::rvv_integrated(512, 1));
+        fft2d(&mut m, &mut mre, &mut mim, &mut scratch, p, false);
+        for (a, b) in mre.iter().zip(&hre) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        for (a, b) in mim.iter().zip(&him) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        assert!(m.cycles() > 0);
+    }
+
+    fn check_conv(s: ConvShape, vlen: usize) {
+        let input = pseudo_buf(s.input_len(), 41);
+        let w = pseudo_buf(s.weight_len(), 42);
+        let wf = transform_weights(&s, &w);
+        let mut out = vec![0.0f32; s.output_len()];
+        let mut m = Machine::new(MachineConfig::rvv_integrated(vlen, 1));
+        run(&mut m, &s, &input, &wf, &mut out);
+        let err = max_rel_error(&out, &conv2d_reference(&s, &input, &w));
+        assert!(err < 1e-2, "err {err} for {s:?}");
+    }
+
+    #[test]
+    fn conv_matches_reference_3x3() {
+        check_conv(ConvShape::same_pad(2, 3, 10, 3, 1), 512);
+    }
+
+    #[test]
+    fn conv_matches_reference_5x5_and_7x7() {
+        check_conv(ConvShape::same_pad(3, 2, 12, 5, 1), 1024);
+        check_conv(ConvShape::same_pad(1, 2, 9, 7, 1), 2048);
+    }
+
+    #[test]
+    fn conv_matches_reference_no_padding() {
+        let s = ConvShape { ic: 2, ih: 11, iw: 11, oc: 2, kh: 3, kw: 3, stride: 1, pad: 0 };
+        check_conv(s, 512);
+    }
+
+    #[test]
+    fn fft_cycles_nearly_kernel_size_independent() {
+        // Same image, kernels 3 and 7: cycle counts should be within ~25%
+        // (plane size identical, only the offline transform differs).
+        let cycles_k = |k: usize| {
+            let s = ConvShape::same_pad(2, 2, 20, k, 1);
+            let input = pseudo_buf(s.input_len(), 1);
+            let w = pseudo_buf(s.weight_len(), 2);
+            let wf = transform_weights(&s, &w);
+            let mut out = vec![0.0f32; s.output_len()];
+            let mut m = Machine::new(MachineConfig::rvv_integrated(512, 1));
+            run(&mut m, &s, &input, &wf, &mut out);
+            m.cycles()
+        };
+        let c3 = cycles_k(3);
+        let c7 = cycles_k(7);
+        let ratio = c7 as f64 / c3 as f64;
+        assert!((0.75..1.35).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,196 @@
+//! The BLIS-like 6-loop GEMM of Paper I (Fig. 3): cache blocking, matrix
+//! packing, software prefetch, and the same VLA micro-kernel as the 3-loop
+//! variant.
+
+use lv_sim::{Machine, VReg};
+use lv_tensor::{AlignedVec, ConvShape};
+
+use crate::gemm3::UNROLL;
+use crate::im2col;
+
+const VB: VReg = VReg(16);
+const VC: VReg = VReg(17);
+
+/// Cache-blocking parameters (`blockM x blockN x blockK`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gemm6Blocking {
+    /// Rows of `A`/`C` per block (micro-panel height).
+    pub mc: usize,
+    /// Columns of `B`/`C` per block.
+    pub nc: usize,
+    /// Depth per block (shared dimension).
+    pub kc: usize,
+}
+
+impl Gemm6Blocking {
+    /// The paper's tuned block size: `16 x 512 x 128` (Paper I Table II;
+    /// reused unchanged in Paper II because it fits the smallest simulated
+    /// cache).
+    pub fn paper() -> Self {
+        Self { mc: 16, nc: 512, kc: 128 }
+    }
+
+    /// Arbitrary blocking, for the Paper I Table II sweep.
+    pub fn new(mc: usize, nc: usize, kc: usize) -> Self {
+        assert!(mc > 0 && nc > 0 && kc > 0);
+        assert!(mc <= UNROLL, "micro-panel height must fit the register file");
+        Self { mc, nc, kc }
+    }
+}
+
+/// Vectorized block copy: `src` rows of length `cols` with stride
+/// `src_stride` into a contiguous `rows x cols` panel.
+fn pack_panel(
+    m: &mut Machine,
+    src: &[f32],
+    src_stride: usize,
+    rows: usize,
+    cols: usize,
+    dst: &mut [f32],
+) {
+    for r in 0..rows {
+        let s = &src[r * src_stride..r * src_stride + cols];
+        let d_base = r * cols;
+        let mut x = 0;
+        while x < cols {
+            let vl = m.vsetvl(cols - x);
+            m.vle32(VC, &s[x..]);
+            m.vse32(VC, &mut dst[d_base + x..]);
+            x += vl;
+        }
+        m.scalar_ops(2);
+    }
+}
+
+/// `C(MxN) += A(MxK) * B(KxN)` with BLIS-like blocking and packing.
+pub fn gemm6_kernel(
+    m: &mut Machine,
+    mm: usize,
+    kk: usize,
+    nn: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    blk: &Gemm6Blocking,
+) {
+    assert!(a.len() >= mm * kk && b.len() >= kk * nn && c.len() >= mm * nn);
+    let mut packed_b = AlignedVec::zeroed(blk.kc * blk.nc);
+    let mut packed_a = AlignedVec::zeroed(blk.mc * blk.kc);
+    let mut j1 = 0;
+    while j1 < nn {
+        let nb = blk.nc.min(nn - j1);
+        let mut k1 = 0;
+        while k1 < kk {
+            let kb = blk.kc.min(kk - k1);
+            // Pack B block so the micro-kernel streams it contiguously.
+            pack_panel(m, &b[k1 * nn + j1..], nn, kb, nb, &mut packed_b);
+            let mut i1 = 0;
+            while i1 < mm {
+                let mb = blk.mc.min(mm - i1);
+                pack_panel(m, &a[i1 * kk + k1..], kk, mb, kb, &mut packed_a);
+                // Micro-kernel over the packed block.
+                let mut j = 0;
+                while j < nb {
+                    let vl = m.vsetvl(nb - j);
+                    let mut i = 0;
+                    while i < mb {
+                        let u = UNROLL.min(mb - i);
+                        // Prefetch the C tile (to L1) and the first packed
+                        // rows (effective only on prefetch-capable parts).
+                        for t in 0..u {
+                            m.prefetch(c, (i1 + i + t) * nn + j1 + j, vl * 4);
+                        }
+                        for t in 0..u {
+                            m.vle32(VReg(t as u8), &c[(i1 + i + t) * nn + j1 + j..]);
+                        }
+                        for p in 0..kb {
+                            if p + 1 < kb {
+                                m.prefetch(&packed_b, (p + 1) * nb + j, vl * 4);
+                            }
+                            m.vle32(VB, &packed_b[p * nb + j..]);
+                            for t in 0..u {
+                                let av = m.scalar_load_hidden(&packed_a, (i + t) * kb + p);
+                                m.vfmacc_vf(VReg(t as u8), av, VB);
+                            }
+                            m.scalar_ops(1);
+                        }
+                        for t in 0..u {
+                            m.vse32(VReg(t as u8), &mut c[(i1 + i + t) * nn + j1 + j..]);
+                        }
+                        m.scalar_ops(2);
+                        i += u;
+                    }
+                    j += vl;
+                }
+                i1 += mb;
+            }
+            k1 += kb;
+        }
+        j1 += nb;
+    }
+}
+
+/// im2col + 6-loop GEMM convolution with the given blocking.
+pub fn run(
+    m: &mut Machine,
+    s: &ConvShape,
+    input: &[f32],
+    w_mk: &[f32],
+    output: &mut [f32],
+    blk: &Gemm6Blocking,
+) {
+    let (mm, kk, nn) = s.gemm_mkn();
+    let col = im2col::lower(m, s, input);
+    output.fill(0.0);
+    gemm6_kernel(m, mm, kk, nn, w_mk, &col, output, blk);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_sim::MachineConfig;
+    use lv_tensor::{conv2d_reference, gemm_reference, max_rel_error, pseudo_buf, ConvShape};
+
+    #[test]
+    fn gemm_matches_reference_across_blockings() {
+        let (mm, kk, nn) = (20, 150, 70); // forces partial blocks everywhere
+        let a = pseudo_buf(mm * kk, 1);
+        let b = pseudo_buf(kk * nn, 2);
+        let want = gemm_reference(mm, kk, nn, &a, &b);
+        for blk in [Gemm6Blocking::paper(), Gemm6Blocking::new(8, 64, 32), Gemm6Blocking::new(16, 100, 128)]
+        {
+            let mut c = vec![0.0f32; mm * nn];
+            let mut m = Machine::new(MachineConfig::rvv_integrated(512, 1));
+            gemm6_kernel(&mut m, mm, kk, nn, &a, &b, &mut c, &blk);
+            assert!(max_rel_error(&c, &want) < 1e-3, "blocking {blk:?}");
+        }
+    }
+
+    #[test]
+    fn conv_matches_reference() {
+        let s = ConvShape::same_pad(5, 7, 12, 3, 1);
+        let input = pseudo_buf(s.input_len(), 5);
+        let w = pseudo_buf(s.weight_len(), 6);
+        let mut out = vec![0.0f32; s.output_len()];
+        let mut m = Machine::new(MachineConfig::rvv_integrated(1024, 1));
+        run(&mut m, &s, &input, &w, &mut out, &Gemm6Blocking::paper());
+        assert!(max_rel_error(&out, &conv2d_reference(&s, &input, &w)) < 1e-3);
+    }
+
+    #[test]
+    fn prefetch_helps_on_prefetch_capable_machine() {
+        // Same kernel, A64FX-like machine with/without sw_prefetch.
+        let (mm, kk, nn) = (16, 256, 512);
+        let a = pseudo_buf(mm * kk, 1);
+        let b = pseudo_buf(kk * nn, 2);
+        let run_with = |pf: bool| {
+            let mut cfg = MachineConfig::a64fx_like();
+            cfg.sw_prefetch = pf;
+            let mut m = Machine::new(cfg);
+            let mut c = vec![0.0f32; mm * nn];
+            gemm6_kernel(&mut m, mm, kk, nn, &a, &b, &mut c, &Gemm6Blocking::paper());
+            m.cycles()
+        };
+        assert!(run_with(true) < run_with(false));
+    }
+}

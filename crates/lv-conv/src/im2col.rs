@@ -1,0 +1,146 @@
+//! Vectorized padding and im2col lowering, shared by both GEMM variants.
+
+use lv_sim::{Machine, VReg};
+use lv_tensor::{AlignedVec, ConvShape};
+
+const V0: VReg = VReg(0);
+
+/// Copy an NCHW tensor into a zero-padded NCHW buffer of per-channel planes
+/// `ph x pw`, placing the image at offset (`off_y`, `off_x`). Row copies are
+/// vectorized and charged; the zero border comes from the (lazily zeroed)
+/// allocation, matching a `calloc`-style workspace.
+pub fn pad_nchw(
+    m: &mut Machine,
+    c: usize,
+    h: usize,
+    w: usize,
+    input: &[f32],
+    ph: usize,
+    pw: usize,
+    off_y: usize,
+    off_x: usize,
+) -> AlignedVec {
+    assert!(off_y + h <= ph && off_x + w <= pw, "padded buffer too small");
+    let mut out = AlignedVec::zeroed(c * ph * pw);
+    for ch in 0..c {
+        for y in 0..h {
+            let src = &input[(ch * h + y) * w..(ch * h + y) * w + w];
+            let dst_base = (ch * ph + y + off_y) * pw + off_x;
+            let mut x = 0;
+            while x < w {
+                let vl = m.vsetvl(w - x);
+                m.vle32(V0, &src[x..]);
+                m.vse32(V0, &mut out[dst_base + x..]);
+                x += vl;
+            }
+            m.scalar_ops(2); // loop control
+        }
+    }
+    out
+}
+
+/// Vectorized im2col: lowers a padded NCHW input (planes `ph x pw`, image at
+/// offset (pad, pad) already applied) into the `K x N` column matrix
+/// (`K = ic*kh*kw`, `N = oh*ow`). Unit-stride layers use contiguous
+/// load/store; strided layers use strided gathers, exactly as the paper's
+/// intrinsics implementation does.
+pub fn im2col(
+    m: &mut Machine,
+    s: &ConvShape,
+    padded: &[f32],
+    ph: usize,
+    pw: usize,
+    col: &mut [f32],
+) {
+    let (oh, ow) = (s.oh(), s.ow());
+    let n = oh * ow;
+    debug_assert_eq!(col.len(), s.ic * s.kh * s.kw * n);
+    for ic in 0..s.ic {
+        for ky in 0..s.kh {
+            for kx in 0..s.kw {
+                let krow = (ic * s.kh + ky) * s.kw + kx;
+                for oy in 0..oh {
+                    let iy = oy * s.stride + ky;
+                    let src_base = (ic * ph + iy) * pw + kx;
+                    let dst_base = krow * n + oy * ow;
+                    if s.stride == 1 {
+                        let mut x = 0;
+                        while x < ow {
+                            let vl = m.vsetvl(ow - x);
+                            m.vle32(V0, &padded[src_base + x..]);
+                            m.vse32(V0, &mut col[dst_base + x..]);
+                            x += vl;
+                        }
+                    } else {
+                        let mut x = 0;
+                        while x < ow {
+                            let vl = m.vsetvl(ow - x);
+                            m.vlse32(V0, &padded[src_base + x * s.stride..], s.stride);
+                            m.vse32(V0, &mut col[dst_base + x..]);
+                            x += vl;
+                        }
+                    }
+                    m.scalar_ops(2);
+                }
+            }
+        }
+    }
+}
+
+/// Pad + lower in one step; returns the column matrix (`K x N`).
+pub fn lower(m: &mut Machine, s: &ConvShape, input: &[f32]) -> AlignedVec {
+    let (ph, pw) = (s.ih + 2 * s.pad, s.iw + 2 * s.pad);
+    let padded = pad_nchw(m, s.ic, s.ih, s.iw, input, ph, pw, s.pad, s.pad);
+    let (_, k, n) = s.gemm_mkn();
+    let mut col = AlignedVec::zeroed(k * n);
+    im2col(m, s, &padded, ph, pw, &mut col);
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_sim::MachineConfig;
+    use lv_tensor::{im2col_reference, pseudo_buf, ConvShape};
+
+    fn check_shape(s: ConvShape, vlen: usize) {
+        let mut m = Machine::new(MachineConfig::rvv_integrated(vlen, 1));
+        let input = pseudo_buf(s.input_len(), 9);
+        let col = lower(&mut m, &s, &input);
+        let want = im2col_reference(&s, &input);
+        assert_eq!(&col[..], &want[..], "im2col mismatch for {s:?}");
+        assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn matches_reference_3x3_s1() {
+        check_shape(ConvShape::same_pad(3, 4, 12, 3, 1), 512);
+    }
+
+    #[test]
+    fn matches_reference_3x3_s2() {
+        check_shape(ConvShape::same_pad(2, 4, 13, 3, 2), 512);
+    }
+
+    #[test]
+    fn matches_reference_1x1() {
+        check_shape(ConvShape::same_pad(5, 3, 9, 1, 1), 1024);
+    }
+
+    #[test]
+    fn matches_reference_long_vector() {
+        check_shape(ConvShape::same_pad(2, 3, 20, 3, 1), 4096);
+    }
+
+    #[test]
+    fn pad_places_image() {
+        let mut m = Machine::new(MachineConfig::default());
+        let input: Vec<f32> = (0..2 * 3 * 3).map(|i| i as f32 + 1.0).collect();
+        let p = pad_nchw(&mut m, 2, 3, 3, &input, 5, 5, 1, 1);
+        // Borders zero, interior matches: p[ch][y+1][x+1] == input[ch][y][x].
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[1 * 5 + 1], input[0]); // ch0 (0,0)
+        assert_eq!(p[(1 * 5 + 2) * 5 + 2], input[(1 * 3 + 1) * 3 + 1]); // ch1 (1,1)
+        assert_eq!(p[4 * 5 + 4], 0.0); // ch0 bottom-right border
+    }
+}

@@ -1,0 +1,340 @@
+//! Small-tile Winograd variants — F(2x2, 3x3) and F(4x4, 3x3) — for the
+//! tile-size ablation.
+//!
+//! The paper fixes the tile at 8x8 (F(6x6, 3x3)) and argues that *larger*
+//! tiles would be numerically unstable while *smaller* tiles waste the
+//! arithmetic-reduction opportunity and the long vector registers. This
+//! module makes that design choice measurable: a tile-parameterized
+//! implementation (same three-phase structure and inter-tile channel
+//! parallelism as the production `winograd` module) instantiated at tile
+//! sizes 4 and 6. `repro ablation-tiles` compares cycles, average consumed
+//! vector length and numerical error across F(2,3)/F(4,3)/F(6,3).
+//!
+//! The production F(6,3) path stays in [`crate::winograd`]; this module is
+//! deliberately a separate, generic implementation so the tuned kernel the
+//! experiments run is not perturbed by ablation plumbing.
+
+use lv_sim::{Machine, VReg};
+use lv_tensor::{AlignedVec, ConvShape};
+
+use crate::im2col::pad_nchw;
+
+/// A Winograd plan F(m x m, 3x3) with input tile `t = m + 2`.
+#[derive(Debug, Clone)]
+pub struct WinoPlan {
+    /// Output tile size `m`.
+    pub m: usize,
+    /// Input tile size `t = m + 2`.
+    pub t: usize,
+    /// `B^T` (t x t).
+    pub bt: Vec<Vec<f32>>,
+    /// `G` (t x 3).
+    pub g: Vec<Vec<f32>>,
+    /// `A^T` zero-extended to t x t (valid rows: first `m`).
+    pub at: Vec<Vec<f32>>,
+}
+
+impl WinoPlan {
+    /// F(2x2, 3x3): 4x4 tiles, 2.25x multiplication reduction.
+    pub fn f2x2() -> Self {
+        let bt = vec![
+            vec![1.0, 0.0, -1.0, 0.0],
+            vec![0.0, 1.0, 1.0, 0.0],
+            vec![0.0, -1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0, -1.0],
+        ];
+        let g = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.5, 0.5, 0.5],
+            vec![0.5, -0.5, 0.5],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let at = vec![
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![0.0, 1.0, -1.0, -1.0],
+            vec![0.0; 4],
+            vec![0.0; 4],
+        ];
+        Self { m: 2, t: 4, bt, g, at }
+    }
+
+    /// F(4x4, 3x3): 6x6 tiles, 4x multiplication reduction.
+    pub fn f4x4() -> Self {
+        let bt = vec![
+            vec![4.0, 0.0, -5.0, 0.0, 1.0, 0.0],
+            vec![0.0, -4.0, -4.0, 1.0, 1.0, 0.0],
+            vec![0.0, 4.0, -4.0, -1.0, 1.0, 0.0],
+            vec![0.0, -2.0, -1.0, 2.0, 1.0, 0.0],
+            vec![0.0, 2.0, -1.0, -2.0, 1.0, 0.0],
+            vec![0.0, 4.0, 0.0, -5.0, 0.0, 1.0],
+        ];
+        let g = vec![
+            vec![0.25, 0.0, 0.0],
+            vec![-1.0 / 6.0, -1.0 / 6.0, -1.0 / 6.0],
+            vec![-1.0 / 6.0, 1.0 / 6.0, -1.0 / 6.0],
+            vec![1.0 / 24.0, 1.0 / 12.0, 1.0 / 6.0],
+            vec![1.0 / 24.0, -1.0 / 12.0, 1.0 / 6.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let at = vec![
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.0],
+            vec![0.0, 1.0, -1.0, 2.0, -2.0, 0.0],
+            vec![0.0, 1.0, 1.0, 4.0, 4.0, 0.0],
+            vec![0.0, 1.0, -1.0, 8.0, -8.0, 1.0],
+            vec![0.0; 6],
+            vec![0.0; 6],
+        ];
+        Self { m: 4, t: 6, bt, g, at }
+    }
+
+    fn tuple(&self) -> usize {
+        self.t * self.t
+    }
+}
+
+/// Offline weight transform for a plan: `[oc][ic][t*t]`, tiles stored
+/// transposed (same convention as the production module).
+pub fn transform_weights(plan: &WinoPlan, s: &ConvShape, w_oihw: &[f32]) -> AlignedVec {
+    assert!(s.winograd_applicable());
+    let t = plan.t;
+    let mut out = AlignedVec::zeroed(s.oc * s.ic * plan.tuple());
+    let mut gg = vec![vec![0.0f32; 3]; t];
+    let mut v = vec![vec![0.0f32; t]; t];
+    for oc in 0..s.oc {
+        for ic in 0..s.ic {
+            let g0 = &w_oihw[((oc * s.ic + ic) * 3) * 3..((oc * s.ic + ic) * 3 + 3) * 3];
+            for i in 0..t {
+                for j in 0..3 {
+                    gg[i][j] = (0..3).map(|k| plan.g[i][k] * g0[k * 3 + j]).sum();
+                }
+            }
+            for i in 0..t {
+                for j in 0..t {
+                    v[i][j] = (0..3).map(|k| gg[i][k] * plan.g[j][k]).sum();
+                }
+            }
+            let base = (oc * s.ic + ic) * plan.tuple();
+            for r in 0..t {
+                for cc in 0..t {
+                    out[base + r * t + cc] = v[cc][r];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply a t x t constant matrix to `t` row registers, skipping zeros.
+fn apply_rows(m: &mut Machine, c: &[Vec<f32>], src: &[VReg], dst: &[VReg]) {
+    let t = src.len();
+    for i in 0..t {
+        let mut started = false;
+        for j in 0..t {
+            let coef = c[i][j];
+            if coef == 0.0 {
+                continue;
+            }
+            if !started {
+                m.vfmul_vf(dst[i], coef, src[j]);
+                started = true;
+            } else {
+                m.vfmacc_vf(dst[i], coef, src[j]);
+            }
+        }
+        if !started {
+            m.vfmv_v_f(dst[i], 0.0);
+        }
+    }
+}
+
+/// Run the plan's Winograd convolution (NCHW in/out, weights from
+/// [`transform_weights`] with the same plan).
+pub fn run(plan: &WinoPlan, m: &mut Machine, s: &ConvShape, input: &[f32], w_t: &[f32], output: &mut [f32]) {
+    assert!(s.winograd_applicable());
+    let (t, mo) = (plan.t, plan.m);
+    let tuple = plan.tuple();
+    let (oh, ow) = (s.oh(), s.ow());
+    let tiles_y = oh.div_ceil(mo);
+    let tiles_x = ow.div_ceil(mo);
+    let nt = tiles_y * tiles_x;
+    let ph = tiles_y * mo + 2;
+    let pw = tiles_x * mo + 2;
+    let padded = pad_nchw(m, s.ic, s.ih, s.iw, input, ph, pw, s.pad, s.pad);
+
+    let mvl = m.mvl();
+    let nch_max = (mvl / t).max(1);
+    let src: Vec<VReg> = (0..t as u8).map(VReg).collect();
+    let dst: Vec<VReg> = (t as u8..2 * t as u8).map(VReg).collect();
+
+    // Phase 1: input transform.
+    let mut ubuf = AlignedVec::zeroed(s.ic * nt * tuple);
+    let mut icb = 0;
+    while icb < s.ic {
+        let nch = nch_max.min(s.ic - icb);
+        let _ = m.vsetvl(nch * t);
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let ti = ty * tiles_x + tx;
+                for r in 0..t {
+                    let off = (icb * ph + ty * mo + r) * pw + tx * mo;
+                    m.vload_seg(src[r], &padded[off..], t, ph * pw, nch);
+                }
+                apply_rows(m, &plan.bt, &src, &dst);
+                m.vtranspose_n(&dst);
+                apply_rows(m, &plan.bt, &dst, &src);
+                for r in 0..t {
+                    let off = (icb * nt + ti) * tuple + r * t;
+                    m.vstore_seg(src[r], &mut ubuf[off..], t, nt * tuple, nch);
+                }
+                m.scalar_ops(4);
+            }
+        }
+        icb += nch;
+    }
+
+    // Phase 2: tuple multiplication, vector across tuple elements.
+    let mut mbuf = AlignedVec::zeroed(s.oc * nt * tuple);
+    let vlf = tuple.min(mvl);
+    let fchunks = tuple.div_ceil(vlf);
+    let vu = VReg(8);
+    let vw = VReg(9);
+    const OCB: usize = 8;
+    const ICB: usize = 64;
+    const TB: usize = 16;
+    let mut t0 = 0;
+    while t0 < nt {
+        let tb = TB.min(nt - t0);
+        let mut ic0 = 0;
+        while ic0 < s.ic {
+            let icn = ICB.min(s.ic - ic0);
+            let mut oc0 = 0;
+            while oc0 < s.oc {
+                let ocn = OCB.min(s.oc - oc0);
+                for ti in t0..t0 + tb {
+                    for fc in 0..fchunks {
+                        let f0 = fc * vlf;
+                        let flen = vlf.min(tuple - f0);
+                        let _ = m.vsetvl(flen);
+                        for u in 0..ocn {
+                            let moff = ((oc0 + u) * nt + ti) * tuple + f0;
+                            if ic0 == 0 {
+                                m.vfmv_v_f(VReg(u as u8), 0.0);
+                            } else {
+                                m.vle32(VReg(u as u8), &mbuf[moff..]);
+                            }
+                        }
+                        for ic in ic0..ic0 + icn {
+                            m.vle32(vu, &ubuf[(ic * nt + ti) * tuple + f0..]);
+                            for u in 0..ocn {
+                                m.vle32(vw, &w_t[((oc0 + u) * s.ic + ic) * tuple + f0..]);
+                                m.vfmacc_vv(VReg(u as u8), vw, vu);
+                            }
+                        }
+                        for u in 0..ocn {
+                            let moff = ((oc0 + u) * nt + ti) * tuple + f0;
+                            m.vse32(VReg(u as u8), &mut mbuf[moff..]);
+                        }
+                    }
+                    m.scalar_ops(4);
+                }
+                oc0 += ocn;
+            }
+            ic0 += icn;
+        }
+        t0 += tb;
+    }
+
+    // Phase 3: output transform.
+    let mut ocb = 0;
+    while ocb < s.oc {
+        let nch = nch_max.min(s.oc - ocb);
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let ti = ty * tiles_x + tx;
+                let _ = m.vsetvl(nch * t);
+                for r in 0..t {
+                    let off = (ocb * nt + ti) * tuple + r * t;
+                    m.vload_seg(src[r], &mbuf[off..], t, nt * tuple, nch);
+                }
+                apply_rows(m, &plan.at, &src, &dst);
+                m.vtranspose_n(&dst);
+                apply_rows(m, &plan.at, &dst, &src);
+                let rows = mo.min(oh - ty * mo);
+                let cols = mo.min(ow - tx * mo);
+                for r in 0..rows {
+                    let off = ocb * oh * ow + (ty * mo + r) * ow + tx * mo;
+                    m.vstore_seg_partial(src[r], &mut output[off..], cols, t, oh * ow, nch);
+                }
+                m.scalar_ops(4);
+            }
+        }
+        ocb += nch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_sim::MachineConfig;
+    use lv_tensor::{conv2d_reference, max_rel_error, pseudo_buf};
+
+    fn check(plan: &WinoPlan, s: ConvShape, vlen: usize, tol: f64) -> f64 {
+        let input = pseudo_buf(s.input_len(), 31);
+        let w = pseudo_buf(s.weight_len(), 32);
+        let wt = transform_weights(plan, &s, &w);
+        let mut out = vec![0.0f32; s.output_len()];
+        let mut m = Machine::new(MachineConfig::rvv_integrated(vlen, 1));
+        run(plan, &mut m, &s, &input, &wt, &mut out);
+        let err = max_rel_error(&out, &conv2d_reference(&s, &input, &w));
+        assert!(err < tol, "err {err} for m={} {s:?}", plan.m);
+        err
+    }
+
+    #[test]
+    fn f2x2_matches_reference() {
+        check(&WinoPlan::f2x2(), ConvShape::same_pad(3, 5, 14, 3, 1), 512, 1e-3);
+        check(&WinoPlan::f2x2(), ConvShape::same_pad(4, 3, 11, 3, 1), 2048, 1e-3);
+    }
+
+    #[test]
+    fn f4x4_matches_reference() {
+        check(&WinoPlan::f4x4(), ConvShape::same_pad(3, 5, 14, 3, 1), 512, 1e-2);
+        check(&WinoPlan::f4x4(), ConvShape::same_pad(5, 4, 17, 3, 1), 1024, 1e-2);
+    }
+
+    #[test]
+    fn numerical_error_grows_with_tile_size() {
+        // The paper's justification for not using tiles > 8x8: error grows
+        // with the tile. Measure F(2,3) vs F(4,3) on the same layer.
+        let s = ConvShape::same_pad(8, 8, 26, 3, 1);
+        let e2 = check(&WinoPlan::f2x2(), s, 512, 1e-3);
+        let e4 = check(&WinoPlan::f4x4(), s, 512, 1e-2);
+        assert!(e4 > e2, "F(4,3) err {e4} should exceed F(2,3) err {e2}");
+    }
+
+    #[test]
+    fn bigger_tiles_use_fewer_cycles_at_long_vl() {
+        // The flip side: smaller tiles waste arithmetic reduction. At any
+        // VL the F(2,3) variant should cost more cycles than F(4,3), which
+        // should cost more than the production F(6,3).
+        let s = ConvShape::same_pad(16, 16, 24, 3, 1);
+        let input = pseudo_buf(s.input_len(), 1);
+        let w = pseudo_buf(s.weight_len(), 2);
+        let cycles_of = |plan: &WinoPlan| {
+            let wt = transform_weights(plan, &s, &w);
+            let mut out = vec![0.0f32; s.output_len()];
+            let mut m = Machine::new(MachineConfig::rvv_integrated(2048, 1));
+            run(plan, &mut m, &s, &input, &wt, &mut out);
+            m.cycles()
+        };
+        let c2 = cycles_of(&WinoPlan::f2x2());
+        let c4 = cycles_of(&WinoPlan::f4x4());
+        let wt6 = crate::winograd::transform_weights(&s, &w);
+        let mut out = vec![0.0f32; s.output_len()];
+        let mut m = Machine::new(MachineConfig::rvv_integrated(2048, 1));
+        crate::winograd::run(&mut m, &s, &input, &wt6, &mut out);
+        let c6 = m.cycles();
+        assert!(c2 > c4, "F(2,3) {c2} should cost more than F(4,3) {c4}");
+        assert!(c4 > c6, "F(4,3) {c4} should cost more than F(6,3) {c6}");
+    }
+}

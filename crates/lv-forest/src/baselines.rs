@@ -1,0 +1,195 @@
+//! Baseline classifiers the paper compared before settling on random
+//! forests (§4.3: SVM, kNN, naive Bayes, MLP, decision tree, gradient
+//! boosting). We implement the representative subset needed to reproduce
+//! the model-selection comparison: k-nearest-neighbours, Gaussian naive
+//! Bayes, and a single CART tree (via [`crate::DecisionTree`]).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeParams};
+
+/// k-nearest-neighbours with z-score feature normalization.
+pub struct Knn {
+    k: usize,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Knn {
+    /// Fit (memorize + normalize).
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, k: usize) -> Self {
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m).powi(2) / n;
+            }
+        }
+        for s in std.iter_mut() {
+            *s = s.sqrt().max(1e-12);
+        }
+        let xn = x
+            .iter()
+            .map(|row| row.iter().zip(&mean).zip(&std).map(|((v, m), s)| (v - m) / s).collect())
+            .collect();
+        Self { k, mean, std, x: xn, y: y.to_vec(), n_classes }
+    }
+
+    /// Majority vote among the k nearest training rows.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let rn: Vec<f64> =
+            row.iter().zip(&self.mean).zip(&self.std).map(|((v, m), s)| (v - m) / s).collect();
+        let mut dist: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(t, &l)| (t.iter().zip(&rn).map(|(a, b)| (a - b).powi(2)).sum::<f64>(), l))
+            .collect();
+        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut votes = vec![0usize; self.n_classes];
+        for (_, l) in dist.iter().take(self.k) {
+            votes[*l] += 1;
+        }
+        votes.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
+    }
+}
+
+/// Gaussian naive Bayes.
+pub struct GaussianNb {
+    prior: Vec<f64>,
+    mean: Vec<Vec<f64>>,
+    var: Vec<Vec<f64>>,
+}
+
+impl GaussianNb {
+    /// Fit per-class feature Gaussians.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Self {
+        let d = x[0].len();
+        let mut count = vec![0usize; n_classes];
+        let mut mean = vec![vec![0.0; d]; n_classes];
+        for (row, &l) in x.iter().zip(y) {
+            count[l] += 1;
+            for (m, v) in mean[l].iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for (c, m) in count.iter().zip(mean.iter_mut()) {
+            if *c > 0 {
+                m.iter_mut().for_each(|v| *v /= *c as f64);
+            }
+        }
+        let mut var = vec![vec![0.0; d]; n_classes];
+        for (row, &l) in x.iter().zip(y) {
+            for ((s, v), m) in var[l].iter_mut().zip(row).zip(&mean[l]) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for (c, vr) in count.iter().zip(var.iter_mut()) {
+            vr.iter_mut().for_each(|v| *v = (*v / (*c).max(1) as f64).max(1e-9));
+        }
+        let n = x.len() as f64;
+        let prior = count.iter().map(|&c| (c as f64 / n).max(1e-12)).collect();
+        Self { prior, mean, var }
+    }
+
+    /// Maximum-posterior class.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        (0..self.prior.len())
+            .map(|c| {
+                let ll: f64 = row
+                    .iter()
+                    .zip(&self.mean[c])
+                    .zip(&self.var[c])
+                    .map(|((v, m), s2)| {
+                        -0.5 * ((v - m).powi(2) / s2 + s2.ln() + std::f64::consts::TAU.ln())
+                    })
+                    .sum();
+                (c, self.prior[c].ln() + ll)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+/// Accuracy of each baseline on a train/test split, for the paper's
+/// classifier-selection comparison. Returns `(name, accuracy)` pairs.
+pub fn baseline_accuracies(ds: &Dataset, train: &[usize], test: &[usize]) -> Vec<(String, f64)> {
+    let (tx, ty) = ds.subset(train);
+    let eval = |pred: &dyn Fn(&[f64]) -> usize| -> f64 {
+        let correct =
+            test.iter().filter(|&&i| pred(&ds.features[i]) == ds.labels[i]).count();
+        correct as f64 / test.len() as f64
+    };
+    let knn = Knn::fit(&tx, &ty, ds.n_classes, 5);
+    let nb = GaussianNb::fit(&tx, &ty, ds.n_classes);
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree = DecisionTree::fit(&tx, &ty, ds.n_classes, TreeParams::default(), &mut rng);
+    let mlp = crate::mlp::Mlp::fit(&tx, &ty, ds.n_classes, crate::mlp::MlpParams::default());
+    let gb = crate::gboost::Gboost::fit(&tx, &ty, ds.n_classes, crate::gboost::GboostParams::default());
+    vec![
+        ("knn(5)".to_string(), eval(&|r| knn.predict(r))),
+        ("gaussian-nb".to_string(), eval(&|r| nb.predict(r))),
+        ("decision-tree".to_string(), eval(&|r| tree.predict(r))),
+        ("mlp(32)".to_string(), eval(&|r| mlp.predict(r))),
+        ("gradient-boost".to_string(), eval(&|r| gb.predict(r))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let c = i % 2;
+            let off = if c == 0 { 0.0 } else { 8.0 };
+            x.push(vec![off + (i % 5) as f64 * 0.1, off - (i % 7) as f64 * 0.1]);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn knn_separates_blobs() {
+        let (x, y) = blobs();
+        let k = Knn::fit(&x, &y, 2, 3);
+        assert_eq!(k.predict(&[0.1, 0.0]), 0);
+        assert_eq!(k.predict(&[8.2, 7.9]), 1);
+    }
+
+    #[test]
+    fn nb_separates_blobs() {
+        let (x, y) = blobs();
+        let nb = GaussianNb::fit(&x, &y, 2);
+        assert_eq!(nb.predict(&[0.0, 0.2]), 0);
+        assert_eq!(nb.predict(&[8.0, 8.0]), 1);
+    }
+
+    #[test]
+    fn baseline_harness_reports_all() {
+        let (x, y) = blobs();
+        let ds = Dataset::new(vec!["a".into(), "b".into()], x, y);
+        let train: Vec<usize> = (0..40).collect();
+        let test: Vec<usize> = (40..60).collect();
+        let accs = baseline_accuracies(&ds, &train, &test);
+        assert_eq!(accs.len(), 5);
+        for (name, a) in accs {
+            assert!(a > 0.9, "{name} accuracy {a}");
+        }
+    }
+}

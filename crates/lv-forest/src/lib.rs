@@ -1,0 +1,25 @@
+//! # lv-forest — per-layer algorithm selection
+//!
+//! A from-scratch random-forest classifier reproducing the paper's §4.3
+//! algorithm-selection model: 12 input features (vector length, L2 size and
+//! the 10 convolution dimensions), one label per (layer, hardware config)
+//! naming the fastest algorithm, depth-10 bootstrapped trees, and 5-fold
+//! stratified cross-validation with shuffling. Baseline classifiers (kNN,
+//! Gaussian naive Bayes, single CART tree) reproduce the paper's
+//! model-selection comparison.
+
+#![warn(missing_docs)]
+
+mod baselines;
+mod dataset;
+mod forest;
+mod gboost;
+mod mlp;
+mod tree;
+
+pub use baselines::{baseline_accuracies, GaussianNb, Knn};
+pub use gboost::{Gboost, GboostParams};
+pub use mlp::{Mlp, MlpParams};
+pub use dataset::{stratified_kfold, Dataset};
+pub use forest::{cross_validate, CvReport, ForestParams, RandomForest};
+pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,326 @@
+//! Darknet `.cfg` interchange: parse the framework's native network
+//! description format into a [`Model`] and write a [`Model`] back out.
+//!
+//! The paper's kernels live inside the Darknet framework; supporting its
+//! configuration format means real `yolov3.cfg` / `yolov3-tiny.cfg` files
+//! drive the simulator directly. The subset implemented covers every
+//! section the paper's networks use: `[net]`, `[convolutional]`,
+//! `[maxpool]`, `[shortcut]`, `[route]`, `[upsample]`, `[yolo]`,
+//! `[avgpool]`, `[connected]`, `[softmax]`.
+
+use crate::model::{Activation, LayerKind, Model, ModelBuilder};
+
+/// Error from cfg parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgError {
+    /// 1-based line number where the problem sits (0 = structural).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cfg line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+struct Section {
+    name: String,
+    line: usize,
+    options: Vec<(String, String)>,
+}
+
+impl Section {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, CfgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.trim().parse().map_err(|_| CfgError {
+                line: self.line,
+                message: format!("bad integer for {key}: {v}"),
+            }),
+        }
+    }
+}
+
+fn split_sections(text: &str) -> Result<Vec<Section>, CfgError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| CfgError { line: ln + 1, message: "unterminated section".into() })?;
+            sections.push(Section { name: name.to_string(), line: ln + 1, options: Vec::new() });
+        } else if let Some((k, v)) = line.split_once('=') {
+            let sec = sections.last_mut().ok_or_else(|| CfgError {
+                line: ln + 1,
+                message: "option before any section".into(),
+            })?;
+            sec.options.push((k.trim().to_string(), v.trim().to_string()));
+        } else {
+            return Err(CfgError { line: ln + 1, message: format!("unparseable line: {line}") });
+        }
+    }
+    Ok(sections)
+}
+
+fn parse_activation(s: Option<&str>, line: usize) -> Result<Activation, CfgError> {
+    match s.unwrap_or("logistic") {
+        "linear" | "logistic" => Ok(Activation::Linear),
+        "relu" => Ok(Activation::Relu),
+        "leaky" => Ok(Activation::Leaky),
+        other => Err(CfgError { line, message: format!("unsupported activation: {other}") }),
+    }
+}
+
+/// Parse a Darknet cfg into a [`Model`] named `name`.
+pub fn parse_cfg(name: &str, text: &str) -> Result<Model, CfgError> {
+    let sections = split_sections(text)?;
+    let mut it = sections.iter();
+    let net = it
+        .next()
+        .filter(|s| s.name == "net" || s.name == "network")
+        .ok_or_else(|| CfgError { line: 0, message: "cfg must start with [net]".into() })?;
+    let c = net.get_usize("channels", 3)?;
+    let h = net.get_usize("height", 416)?;
+    let w = net.get_usize("width", 416)?;
+    if h != w {
+        return Err(CfgError { line: net.line, message: "only square inputs supported".into() });
+    }
+    let mut b = ModelBuilder::new(name, c, h, w);
+    for sec in it {
+        match sec.name.as_str() {
+            "convolutional" => {
+                let filters = sec.get_usize("filters", 1)?;
+                let size = sec.get_usize("size", 1)?;
+                let stride = sec.get_usize("stride", 1)?;
+                let act = parse_activation(sec.get("activation"), sec.line)?;
+                // Darknet: pad=1 means "same" padding of size/2.
+                let pad_flag = sec.get_usize("pad", 0)?;
+                let explicit = sec.get_usize("padding", usize::MAX)?;
+                let pad = if explicit != usize::MAX {
+                    explicit
+                } else if pad_flag != 0 {
+                    size / 2
+                } else {
+                    0
+                };
+                if pad != size / 2 {
+                    return Err(CfgError {
+                        line: sec.line,
+                        message: "only same-padding convolutions are supported".into(),
+                    });
+                }
+                b = b.conv(filters, size, stride, act);
+            }
+            "maxpool" => {
+                let size = sec.get_usize("size", 2)?;
+                let stride = sec.get_usize("stride", size)?;
+                b = b.maxpool(size, stride);
+            }
+            "shortcut" => {
+                let from: isize = sec
+                    .get("from")
+                    .ok_or_else(|| CfgError { line: sec.line, message: "shortcut needs from=".into() })?
+                    .trim()
+                    .parse()
+                    .map_err(|_| CfgError { line: sec.line, message: "bad from=".into() })?;
+                b = b.shortcut(from);
+            }
+            "route" => {
+                let layers: Result<Vec<isize>, _> = sec
+                    .get("layers")
+                    .ok_or_else(|| CfgError { line: sec.line, message: "route needs layers=".into() })?
+                    .split(',')
+                    .map(|t| t.trim().parse::<isize>())
+                    .collect();
+                let layers = layers
+                    .map_err(|_| CfgError { line: sec.line, message: "bad layers=".into() })?;
+                b = b.route(&layers);
+            }
+            "upsample" => {
+                b = b.upsample(sec.get_usize("stride", 2)?);
+            }
+            "avgpool" => {
+                b = b.avgpool();
+            }
+            "connected" => {
+                let output = sec.get_usize("output", 1)?;
+                let act = parse_activation(sec.get("activation"), sec.line)?;
+                b = b.fc(output, act);
+            }
+            "softmax" => {
+                b = b.softmax();
+            }
+            "yolo" | "region" | "detection" => {
+                b = b.yolo();
+            }
+            other => {
+                return Err(CfgError {
+                    line: sec.line,
+                    message: format!("unsupported section [{other}]"),
+                })
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+fn act_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Linear => "linear",
+        Activation::Relu => "relu",
+        Activation::Leaky => "leaky",
+    }
+}
+
+/// Write a [`Model`] as a Darknet cfg string (inverse of [`parse_cfg`] for
+/// the supported subset).
+pub fn write_cfg(model: &Model) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "[net]\nchannels={}\nheight={}\nwidth={}\n",
+        model.in_c, model.in_h, model.in_w
+    );
+    for l in &model.layers {
+        match &l.kind {
+            LayerKind::Conv { shape, activation } => {
+                let _ = write!(
+                    s,
+                    "\n[convolutional]\nfilters={}\nsize={}\nstride={}\npad=1\nactivation={}\n",
+                    shape.oc,
+                    shape.kh,
+                    shape.stride,
+                    act_name(*activation)
+                );
+            }
+            LayerKind::MaxPool { size, stride } => {
+                let _ = write!(s, "\n[maxpool]\nsize={size}\nstride={stride}\n");
+            }
+            LayerKind::Shortcut { from } => {
+                let _ = write!(s, "\n[shortcut]\nfrom={from}\n");
+            }
+            LayerKind::Route { layers } => {
+                let list: Vec<String> = layers.iter().map(|l| l.to_string()).collect();
+                let _ = write!(s, "\n[route]\nlayers={}\n", list.join(","));
+            }
+            LayerKind::Upsample { stride } => {
+                let _ = write!(s, "\n[upsample]\nstride={stride}\n");
+            }
+            LayerKind::AvgPool => s.push_str("\n[avgpool]\n"),
+            LayerKind::FullyConnected { outputs, activation, .. } => {
+                let _ = write!(
+                    s,
+                    "\n[connected]\noutput={}\nactivation={}\n",
+                    outputs,
+                    act_name(*activation)
+                );
+            }
+            LayerKind::Softmax => s.push_str("\n[softmax]\n"),
+            LayerKind::Yolo => s.push_str("\n[yolo]\n"),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn parses_a_minimal_cfg() {
+        let cfg = "\
+[net]
+channels=3
+height=32
+width=32
+
+[convolutional]
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=4
+size=1
+stride=1
+activation=linear
+";
+        let m = parse_cfg("mini", cfg).unwrap();
+        assert_eq!(m.layers.len(), 3);
+        assert_eq!(m.conv_count(), 2);
+        assert_eq!(m.layers[1].out_h, 16);
+        let shapes = m.conv_shapes();
+        assert_eq!((shapes[0].oc, shapes[0].kh, shapes[0].pad), (8, 3, 1));
+        assert_eq!((shapes[1].kh, shapes[1].pad), (1, 0));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = "# top comment\n[net]\nheight=16\nwidth=16 # inline\n\n[avgpool]\n";
+        let m = parse_cfg("c", cfg).unwrap();
+        assert_eq!(m.layers.len(), 1);
+        assert_eq!(m.in_c, 3); // default channels
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cfg = "[net]\nheight=16\nwidth=16\n\n[teleport]\n";
+        let err = parse_cfg("x", cfg).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("teleport"));
+        let err2 = parse_cfg("x", "[net]\nheight=16\nwidth=16\nnonsense\n").unwrap_err();
+        assert_eq!(err2.line, 4);
+    }
+
+    #[test]
+    fn must_start_with_net() {
+        assert!(parse_cfg("x", "[convolutional]\nfilters=1\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_every_zoo_model() {
+        for model in [zoo::vgg16(), zoo::yolov3(), zoo::yolov3_first20(), zoo::yolov3_tiny()] {
+            let cfg = write_cfg(&model);
+            let back = parse_cfg(&model.name, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            assert_eq!(back.layers.len(), model.layers.len(), "{}", model.name);
+            assert_eq!(back.conv_shapes(), model.conv_shapes(), "{}", model.name);
+            for (a, b) in back.layers.iter().zip(&model.layers) {
+                assert_eq!((a.out_c, a.out_h, a.out_w), (b.out_c, b.out_h, b.out_w));
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_yolov3_tiny_matches_builder() {
+        let cfg = write_cfg(&zoo::yolov3_tiny());
+        let parsed = parse_cfg("yolov3-tiny", &cfg).unwrap();
+        assert_eq!(parsed.conv_count(), 13);
+        // The route to layer 8 must resolve to the 512-filter conv output.
+        let routes: Vec<_> = parsed
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l.kind, LayerKind::Route { .. }))
+            .collect();
+        assert_eq!(routes.len(), 2);
+    }
+}

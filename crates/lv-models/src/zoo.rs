@@ -1,0 +1,211 @@
+//! The network models the paper evaluates: YOLOv3 (full 107-layer graph,
+//! the first-20-layer slice used in the experiments, and the tiny variant
+//! from Paper I) and VGG-16. Dimensions follow Paper II Table 1.
+
+use crate::model::{Activation, Model, ModelBuilder};
+
+const L: Activation = Activation::Leaky;
+const R: Activation = Activation::Relu;
+
+/// VGG-16 at 224x224 (13 conv + 5 maxpool + 3 FC + softmax; Table 1 top).
+pub fn vgg16() -> Model {
+    ModelBuilder::new("vgg16", 3, 224, 224)
+        .conv(64, 3, 1, R)
+        .conv(64, 3, 1, R)
+        .maxpool(2, 2)
+        .conv(128, 3, 1, R)
+        .conv(128, 3, 1, R)
+        .maxpool(2, 2)
+        .conv(256, 3, 1, R)
+        .conv(256, 3, 1, R)
+        .conv(256, 3, 1, R)
+        .maxpool(2, 2)
+        .conv(512, 3, 1, R)
+        .conv(512, 3, 1, R)
+        .conv(512, 3, 1, R)
+        .maxpool(2, 2)
+        .conv(512, 3, 1, R)
+        .conv(512, 3, 1, R)
+        .conv(512, 3, 1, R)
+        .maxpool(2, 2)
+        .fc(4096, R)
+        .fc(4096, R)
+        .fc(1000, Activation::Linear)
+        .softmax()
+        .build()
+}
+
+/// One Darknet-53 residual stage: a strided 3x3 conv followed by `n`
+/// (1x1 squeeze, 3x3 expand, shortcut) blocks.
+fn residual_stage(mut b: ModelBuilder, oc: usize, n: usize) -> ModelBuilder {
+    b = b.conv(oc, 3, 2, L);
+    for _ in 0..n {
+        b = b.conv(oc / 2, 1, 1, L).conv(oc, 3, 1, L).shortcut(-3);
+    }
+    b
+}
+
+/// Full YOLOv3 at 608x608: 107 layers, 75 convolutional.
+pub fn yolov3() -> Model {
+    let mut b = ModelBuilder::new("yolov3", 3, 608, 608).conv(32, 3, 1, L);
+    b = residual_stage(b, 64, 1); // layers 1..=4
+    b = residual_stage(b, 128, 2); // 5..=11
+    b = residual_stage(b, 256, 8); // 12..=36 (layer 36 output routed later)
+    b = residual_stage(b, 512, 8); // 37..=61 (layer 61 output routed later)
+    b = residual_stage(b, 1024, 4); // 62..=74
+    // Head 1 (13x13 at 416; 19x19 at 608).
+    b = b
+        .conv(512, 1, 1, L)
+        .conv(1024, 3, 1, L)
+        .conv(512, 1, 1, L)
+        .conv(1024, 3, 1, L)
+        .conv(512, 1, 1, L)
+        .conv(1024, 3, 1, L)
+        .conv(255, 1, 1, Activation::Linear)
+        .yolo();
+    // Head 2.
+    b = b
+        .route(&[-4])
+        .conv(256, 1, 1, L)
+        .upsample(2)
+        .route(&[-1, 61])
+        .conv(256, 1, 1, L)
+        .conv(512, 3, 1, L)
+        .conv(256, 1, 1, L)
+        .conv(512, 3, 1, L)
+        .conv(256, 1, 1, L)
+        .conv(512, 3, 1, L)
+        .conv(255, 1, 1, Activation::Linear)
+        .yolo();
+    // Head 3.
+    b = b
+        .route(&[-4])
+        .conv(128, 1, 1, L)
+        .upsample(2)
+        .route(&[-1, 36])
+        .conv(128, 1, 1, L)
+        .conv(256, 3, 1, L)
+        .conv(128, 1, 1, L)
+        .conv(256, 3, 1, L)
+        .conv(128, 1, 1, L)
+        .conv(256, 3, 1, L)
+        .conv(255, 1, 1, Activation::Linear)
+        .yolo();
+    b.build()
+}
+
+/// The first 20 Darknet layers of YOLOv3 (15 convolutional + 5 shortcut),
+/// the slice simulated throughout the paper (Table 1 bottom).
+pub fn yolov3_first20() -> Model {
+    let full = yolov3();
+    Model {
+        name: "yolov3-20".to_string(),
+        in_c: full.in_c,
+        in_h: full.in_h,
+        in_w: full.in_w,
+        layers: full.layers[..20].to_vec(),
+    }
+}
+
+/// YOLOv3-tiny (13 conv), used by Paper I's naive-vs-optimized comparison.
+pub fn yolov3_tiny() -> Model {
+    ModelBuilder::new("yolov3-tiny", 3, 416, 416)
+        .conv(16, 3, 1, L)
+        .maxpool(2, 2)
+        .conv(32, 3, 1, L)
+        .maxpool(2, 2)
+        .conv(64, 3, 1, L)
+        .maxpool(2, 2)
+        .conv(128, 3, 1, L)
+        .maxpool(2, 2)
+        .conv(256, 3, 1, L)
+        .maxpool(2, 2)
+        .conv(512, 3, 1, L)
+        .maxpool(2, 1)
+        .conv(1024, 3, 1, L)
+        .conv(256, 1, 1, L)
+        .conv(512, 3, 1, L)
+        .conv(255, 1, 1, Activation::Linear)
+        .yolo()
+        .route(&[-4])
+        .conv(128, 1, 1, L)
+        .upsample(2)
+        .route(&[-1, 8])
+        .conv(256, 3, 1, L)
+        .conv(255, 1, 1, Activation::Linear)
+        .yolo()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LayerKind;
+
+    #[test]
+    fn vgg16_matches_table1() {
+        let m = vgg16();
+        let convs = m.conv_shapes();
+        assert_eq!(convs.len(), 13);
+        // Table 1 spot checks.
+        assert_eq!((convs[0].ic, convs[0].oc, convs[0].ih), (3, 64, 224));
+        assert_eq!((convs[4].ic, convs[4].oc, convs[4].ih), (128, 256, 56));
+        assert_eq!((convs[12].ic, convs[12].oc, convs[12].ih), (512, 512, 14));
+        assert!(convs.iter().all(|s| s.kh == 3 && s.stride == 1));
+    }
+
+    #[test]
+    fn yolov3_has_107_layers_75_conv() {
+        let m = yolov3();
+        assert_eq!(m.layers.len(), 107);
+        assert_eq!(m.conv_count(), 75);
+        // Five layer types, as the paper says.
+        let mut kinds = std::collections::BTreeSet::new();
+        for l in &m.layers {
+            kinds.insert(match l.kind {
+                LayerKind::Conv { .. } => "conv",
+                LayerKind::Shortcut { .. } => "shortcut",
+                LayerKind::Route { .. } => "route",
+                LayerKind::Upsample { .. } => "upsample",
+                LayerKind::Yolo => "yolo",
+                _ => "other",
+            });
+        }
+        assert_eq!(kinds.len(), 5);
+        assert!(!kinds.contains("other"));
+    }
+
+    #[test]
+    fn yolov3_first20_matches_table1() {
+        let m = yolov3_first20();
+        assert_eq!(m.layers.len(), 20);
+        let convs = m.conv_shapes();
+        assert_eq!(convs.len(), 15);
+        // Table 1 bottom rows.
+        assert_eq!((convs[0].ic, convs[0].oc, convs[0].ih, convs[0].kh, convs[0].stride), (3, 32, 608, 3, 1));
+        assert_eq!((convs[1].ic, convs[1].oc, convs[1].ih, convs[1].stride), (32, 64, 608, 2));
+        assert_eq!(convs[1].oh(), 304);
+        assert_eq!((convs[2].ic, convs[2].oc, convs[2].kh), (64, 32, 1));
+        assert_eq!((convs[9].ic, convs[9].oc, convs[9].stride), (128, 256, 2));
+        assert_eq!(convs[9].oh(), 76);
+        assert_eq!((convs[14].ic, convs[14].oc, convs[14].kh), (256, 128, 1));
+    }
+
+    #[test]
+    fn yolo_head_dimensions() {
+        let m = yolov3();
+        // Detection heads output 255 channels at 19, 38 and 76.
+        let yolos: Vec<_> = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Yolo))
+            .map(|l| (l.out_c, l.out_h))
+            .collect();
+        assert_eq!(yolos, vec![(255, 19), (255, 38), (255, 76)]);
+    }
+
+    #[test]
+    fn tiny_has_13_convs() {
+        assert_eq!(yolov3_tiny().conv_count(), 13);
+    }
+}

@@ -1,0 +1,204 @@
+//! # lv-serving — CNN model-serving simulation
+//!
+//! The paper's motivating deployment scenario (Paper II §1): a serving
+//! framework (Triton/BentoML-style) runs co-located replicas of a CNN on a
+//! multicore long-vector chip, load-balancing incoming requests. Co-running
+//! replicas compete for the shared L2, which the paper sidesteps with
+//! static, CAT-like cache partitioning — each replica sees an isolated
+//! slice. This crate models that scenario:
+//!
+//! * [`partition_l2`] — the per-replica cache share,
+//! * [`colocated_throughput`] — the steady-state images/cycle model behind
+//!   Fig. 12's throughput-area Pareto analysis,
+//! * [`ServingSim`] — an open-loop discrete-event simulation (Poisson
+//!   arrivals, least-loaded dispatch) producing latency percentiles, for
+//!   studying serving behaviour below and at saturation.
+
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod mixed;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Split a shared L2 of `total_mib` across `replicas` equal, isolated
+/// partitions (Intel-CAT-like way partitioning). Returns the per-replica
+/// share in MiB, snapped *down* to one of `measured_sizes` (the cache sizes
+/// the per-layer grid was simulated at). Returns `None` when the share is
+/// smaller than the smallest measured size.
+pub fn partition_l2(total_mib: usize, replicas: usize, measured_sizes: &[usize]) -> Option<usize> {
+    assert!(replicas > 0);
+    let share = total_mib / replicas;
+    measured_sizes.iter().copied().filter(|&s| s <= share).max()
+}
+
+/// Steady-state throughput (images per cycle) of `replicas` co-located
+/// model instances, each pinned to its own core and running one inference
+/// at a time in `cycles_per_image` cycles (measured at the partitioned
+/// cache size). This is the model behind the paper's Fig. 12.
+pub fn colocated_throughput(replicas: usize, cycles_per_image: u64) -> f64 {
+    assert!(cycles_per_image > 0);
+    replicas as f64 / cycles_per_image as f64
+}
+
+/// Configuration of the open-loop serving simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Number of model replicas (each on its own core/partition).
+    pub replicas: usize,
+    /// Service time per request in seconds (from simulated cycles / clock).
+    pub service_time_s: f64,
+    /// Mean arrival rate in requests/second (Poisson process).
+    pub arrival_rate: f64,
+    /// Number of requests to simulate.
+    pub requests: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Latency/throughput report of a serving simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Offered load in requests/second.
+    pub offered_rps: f64,
+    /// Achieved throughput in requests/second (completions / makespan).
+    pub achieved_rps: f64,
+    /// Mean end-to-end latency (queueing + service) in seconds.
+    pub mean_latency_s: f64,
+    /// Median latency in seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile latency in seconds.
+    pub p99_latency_s: f64,
+    /// Mean replica utilization in [0, 1].
+    pub utilization: f64,
+}
+
+/// Open-loop discrete-event serving simulation: Poisson arrivals are
+/// dispatched to the replica that frees up earliest (least-loaded /
+/// work-conserving), each replica serves one request at a time with a
+/// deterministic service time.
+pub struct ServingSim {
+    cfg: ServingConfig,
+}
+
+impl ServingSim {
+    /// Create a simulation.
+    pub fn new(cfg: ServingConfig) -> Self {
+        assert!(cfg.replicas > 0 && cfg.service_time_s > 0.0 && cfg.arrival_rate > 0.0);
+        Self { cfg }
+    }
+
+    /// Run to completion and report.
+    pub fn run(&self) -> ServingReport {
+        let c = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut free_at = vec![0.0f64; c.replicas];
+        let mut t = 0.0f64;
+        let mut latencies = Vec::with_capacity(c.requests);
+        let mut busy = 0.0f64;
+        let mut last_completion = 0.0f64;
+        for _ in 0..c.requests {
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / c.arrival_rate;
+            // Earliest-free replica (work-conserving least-loaded dispatch).
+            let (ri, &rt) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("at least one replica");
+            let start = t.max(rt);
+            let done = start + c.service_time_s;
+            free_at[ri] = done;
+            latencies.push(done - t);
+            busy += c.service_time_s;
+            last_completion = last_completion.max(done);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let makespan = last_completion.max(f64::EPSILON);
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        ServingReport {
+            offered_rps: c.arrival_rate,
+            achieved_rps: c.requests as f64 / makespan,
+            mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
+            p50_latency_s: pct(0.50),
+            p99_latency_s: pct(0.99),
+            utilization: busy / (makespan * c.replicas as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_snaps_down() {
+        let sizes = [1, 4, 16, 64];
+        assert_eq!(partition_l2(64, 4, &sizes), Some(16));
+        assert_eq!(partition_l2(64, 2, &sizes), Some(16)); // 32 -> 16
+        assert_eq!(partition_l2(64, 1, &sizes), Some(64));
+        assert_eq!(partition_l2(16, 5, &sizes), Some(1)); // 3 -> 1
+        assert_eq!(partition_l2(4, 8, &sizes), None);
+    }
+
+    #[test]
+    fn throughput_scales_with_replicas() {
+        let t1 = colocated_throughput(1, 1_000_000);
+        let t4 = colocated_throughput(4, 1_000_000);
+        assert!((t4 / t1 - 4.0).abs() < 1e-12);
+    }
+
+    fn base_cfg() -> ServingConfig {
+        ServingConfig {
+            replicas: 4,
+            service_time_s: 0.010,
+            arrival_rate: 100.0,
+            requests: 20_000,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn underloaded_system_has_low_latency() {
+        // 4 replicas x 100 img/s capacity each = 400 rps capacity; offer 100.
+        let rep = ServingSim::new(base_cfg()).run();
+        assert!(rep.utilization < 0.5, "util {}", rep.utilization);
+        // Latency close to pure service time.
+        assert!(rep.p50_latency_s < 0.015);
+        assert!((rep.achieved_rps - 100.0).abs() / 100.0 < 0.05);
+    }
+
+    #[test]
+    fn saturated_system_caps_at_capacity() {
+        // Offer 10x capacity: achieved rps ~ 400, latency blows up.
+        let cfg = ServingConfig { arrival_rate: 4000.0, ..base_cfg() };
+        let rep = ServingSim::new(cfg).run();
+        let capacity = 4.0 / 0.010;
+        assert!((rep.achieved_rps - capacity).abs() / capacity < 0.05, "rps {}", rep.achieved_rps);
+        assert!(rep.utilization > 0.95);
+        assert!(rep.p99_latency_s > rep.p50_latency_s * 0.9);
+        assert!(rep.mean_latency_s > 0.010);
+    }
+
+    #[test]
+    fn more_replicas_cut_queueing_latency() {
+        let slow = ServingSim::new(ServingConfig { arrival_rate: 350.0, ..base_cfg() }).run();
+        let fast = ServingSim::new(ServingConfig {
+            replicas: 8,
+            arrival_rate: 350.0,
+            ..base_cfg()
+        })
+        .run();
+        assert!(fast.p99_latency_s < slow.p99_latency_s);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ServingSim::new(base_cfg()).run();
+        let b = ServingSim::new(base_cfg()).run();
+        assert_eq!(a.p99_latency_s, b.p99_latency_s);
+    }
+}

@@ -1,0 +1,192 @@
+//! Heterogeneous serving: multiple model classes co-located on one chip
+//! (e.g. YOLOv3 detection next to VGG-16 classification), each with its own
+//! replica pool, service time and traffic — the multi-tenant variant of the
+//! paper's co-location scenario — plus an SLO-driven replica autoscaler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{ServingConfig, ServingReport, ServingSim};
+
+/// One model class in a mixed deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelClass {
+    /// Display name ("yolov3", "vgg16", ...).
+    pub name: String,
+    /// Replicas dedicated to this class.
+    pub replicas: usize,
+    /// Per-request service time in seconds.
+    pub service_time_s: f64,
+    /// Arrival rate for this class (requests/second).
+    pub arrival_rate: f64,
+}
+
+/// Per-class outcome of a mixed simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedClassReport {
+    /// Class name.
+    pub name: String,
+    /// Latency/throughput report for this class.
+    pub report: ServingReport,
+}
+
+/// Simulate a mixed deployment. Classes own disjoint replica pools
+/// (requests are routed by model, as serving frameworks do), so each class
+/// is an independent queueing system; the chip-level quantities (total
+/// cores, shared-cache partitions) are decided by the caller.
+pub fn simulate_mixed(classes: &[ModelClass], requests_per_class: usize, seed: u64) -> Vec<MixedClassReport> {
+    classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| MixedClassReport {
+            name: c.name.clone(),
+            report: ServingSim::new(ServingConfig {
+                replicas: c.replicas,
+                service_time_s: c.service_time_s,
+                arrival_rate: c.arrival_rate,
+                requests: requests_per_class,
+                seed: seed.wrapping_add(i as u64 * 7919),
+            })
+            .run(),
+        })
+        .collect()
+}
+
+/// Total cores a mixed deployment occupies.
+pub fn total_replicas(classes: &[ModelClass]) -> usize {
+    classes.iter().map(|c| c.replicas).sum()
+}
+
+/// Find the minimum replica count whose simulated p99 latency meets
+/// `slo_p99_s` at the given traffic, up to `max_replicas`. Returns `None`
+/// if even `max_replicas` misses the SLO (e.g. the SLO is below the bare
+/// service time).
+pub fn autoscale_to_slo(
+    service_time_s: f64,
+    arrival_rate: f64,
+    slo_p99_s: f64,
+    max_replicas: usize,
+    seed: u64,
+) -> Option<usize> {
+    if slo_p99_s < service_time_s {
+        return None; // unattainable: one request alone misses the SLO
+    }
+    // p99 is monotone non-increasing in the replica count, so binary search.
+    let meets = |n: usize| -> bool {
+        let rep = ServingSim::new(ServingConfig {
+            replicas: n,
+            service_time_s,
+            arrival_rate,
+            requests: 4000,
+            seed,
+        })
+        .run();
+        rep.p99_latency_s <= slo_p99_s
+    };
+    if !meets(max_replicas) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1usize, max_replicas);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// A bursty open-loop arrival trace: baseline Poisson traffic with
+/// multiplicative bursts, for stress-testing a deployment. Returns sorted
+/// arrival timestamps.
+pub fn bursty_arrivals(
+    rate: f64,
+    burst_factor: f64,
+    burst_fraction: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(rate > 0.0 && burst_factor >= 1.0 && (0.0..=1.0).contains(&burst_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = if rng.gen_bool(burst_fraction) { rate * burst_factor } else { rate };
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / r;
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_classes_are_isolated() {
+        // An overloaded detection pool must not affect the classification
+        // pool's latency (disjoint replicas).
+        let classes = vec![
+            ModelClass {
+                name: "det".into(),
+                replicas: 1,
+                service_time_s: 0.05,
+                arrival_rate: 100.0, // 5x overload
+            },
+            ModelClass {
+                name: "cls".into(),
+                replicas: 2,
+                service_time_s: 0.01,
+                arrival_rate: 50.0, // 25% load
+            },
+        ];
+        let reps = simulate_mixed(&classes, 4000, 1);
+        assert_eq!(total_replicas(&classes), 3);
+        let det = &reps[0].report;
+        let cls = &reps[1].report;
+        assert!(det.utilization > 0.95, "overloaded pool saturates");
+        assert!(cls.p99_latency_s < 0.05, "isolated pool stays fast: {}", cls.p99_latency_s);
+    }
+
+    #[test]
+    fn autoscaler_finds_minimum() {
+        // 10ms service, 250 rps: capacity per replica = 100 rps, so >= 3
+        // replicas are needed just for throughput; queueing pushes it a bit
+        // higher for a tight p99.
+        let n = autoscale_to_slo(0.010, 250.0, 0.030, 32, 5).expect("feasible");
+        assert!((3..=8).contains(&n), "got {n}");
+        // One fewer replica must violate the SLO (minimality).
+        if n > 1 {
+            let rep = ServingSim::new(ServingConfig {
+                replicas: n - 1,
+                service_time_s: 0.010,
+                arrival_rate: 250.0,
+                requests: 4000,
+                seed: 5,
+            })
+            .run();
+            assert!(rep.p99_latency_s > 0.030);
+        }
+    }
+
+    #[test]
+    fn autoscaler_rejects_impossible_slo() {
+        assert_eq!(autoscale_to_slo(0.020, 10.0, 0.005, 64, 1), None);
+        // Massive overload beyond max replicas.
+        assert_eq!(autoscale_to_slo(0.100, 10_000.0, 0.2, 4, 1), None);
+    }
+
+    #[test]
+    fn bursty_trace_is_sorted_and_denser_with_bursts() {
+        let calm = bursty_arrivals(100.0, 1.0, 0.0, 2000, 9);
+        let bursty = bursty_arrivals(100.0, 10.0, 0.5, 2000, 9);
+        assert!(calm.windows(2).all(|w| w[0] <= w[1]));
+        assert!(bursty.windows(2).all(|w| w[0] <= w[1]));
+        // Same request count in less wall time when half the arrivals are 10x.
+        assert!(bursty.last().unwrap() < calm.last().unwrap());
+    }
+}

@@ -1,0 +1,201 @@
+//! Machine configuration: the hardware design points swept by the co-design study.
+
+use serde::{Deserialize, Serialize};
+
+/// How the vector processing unit is attached to the memory hierarchy.
+///
+/// The paper evaluates both styles: Paper II simulates a *tightly integrated*
+/// vector unit (reads through the L1 data cache, like ARM-SVE or the RVV unit
+/// in the `plct-gem5` fork), while Paper I's RISC-VV model is a *decoupled*
+/// VPU attached directly to the L2 cache through a small vector buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VpuStyle {
+    /// Vector memory operations probe L1, then L2, then main memory.
+    Integrated,
+    /// Vector memory operations bypass L1 and probe L2 directly
+    /// (Paper I: "the VPU is connected to the L2 cache").
+    Decoupled,
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Per-event cycle costs of the in-order timing model.
+///
+/// Every vector instruction costs `issue` plus a startup term plus a
+/// throughput term; memory instructions additionally pay per cache line
+/// touched, depending on where in the hierarchy the line hits. The defaults
+/// are calibrated so that the *ratios* the paper reports (vector-length
+/// scaling, cache-size scaling, algorithm crossovers) are reproduced; see
+/// `DESIGN.md` §4 for the substitution rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Front-end issue cost per (vector) instruction.
+    pub issue: u64,
+    /// Extra startup beats for an arithmetic vector instruction
+    /// (pipeline fill; amortized by long vectors).
+    pub arith_startup: u64,
+    /// Extra startup beats for a vector memory instruction
+    /// (address generation, TLB, first beat).
+    pub mem_startup: u64,
+    /// Per-line cost when the line hits in L1 (integrated VPU only).
+    pub l1_line: u64,
+    /// Per-line cost when the line hits in L2 (pipelined occupancy, not
+    /// full latency: consecutive lines of one vector access overlap).
+    pub l2_line: u64,
+    /// Per-line cost when the line comes from main memory. Bundles the
+    /// pipelined DRAM latency with the bandwidth occupancy of a 64 B line
+    /// at 12.8 GiB/s / 2 GHz = 6.4 B/cycle (i.e. >= 10 cycles of bus time).
+    pub mem_line: u64,
+    /// Divisor applied to `l2_line`/`mem_line` for lines brought in by a
+    /// software prefetch (latency hidden; only bandwidth occupancy remains).
+    pub prefetch_discount: u64,
+    /// Additional per-element cycles for indexed/gather/segment accesses,
+    /// expressed as elements processed per cycle (RVV gathers are slower
+    /// than unit-stride accesses).
+    pub gather_elems_per_cycle: u64,
+    /// Cost of a scalar ALU operation.
+    pub scalar_op: u64,
+    /// Cost of the `vsetvl` instruction.
+    pub vsetvl: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            issue: 1,
+            arith_startup: 2,
+            mem_startup: 6,
+            l1_line: 1,
+            l2_line: 5,
+            mem_line: 28,
+            prefetch_discount: 3,
+            gather_elems_per_cycle: 4,
+            scalar_op: 1,
+            vsetvl: 1,
+        }
+    }
+}
+
+/// Full machine configuration: one hardware design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Vector register length in bits (512 .. 16384, powers of two).
+    pub vlen_bits: usize,
+    /// Number of physical vector lanes. Each lane retires two 32-bit
+    /// elements per cycle (64-bit datapath), so f32 throughput is
+    /// `2 * lanes` elements per cycle.
+    pub lanes: usize,
+    /// VPU attachment style (integrated vs decoupled).
+    pub vpu: VpuStyle,
+    /// L1 data cache geometry (64 KiB, 4-way, 64 B lines in the paper).
+    pub l1: CacheGeometry,
+    /// L2 cache geometry (1 MiB .. 256 MiB swept by the paper).
+    pub l2: CacheGeometry,
+    /// Whether software prefetch instructions take effect. The RISC-VV
+    /// toolchain in the paper ignores them (`false`); A64FX honours them.
+    pub sw_prefetch: bool,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Core clock, used only to convert cycles to wall time in reports.
+    pub freq_ghz: f64,
+}
+
+/// Mebibyte helper for cache sizes.
+pub const MIB: usize = 1024 * 1024;
+/// Kibibyte helper for cache sizes.
+pub const KIB: usize = 1024;
+
+impl MachineConfig {
+    /// The paper's Paper-II baseline: tightly integrated RVV unit, 512-bit
+    /// vectors, 8 lanes, 64 KiB L1, 1 MiB L2, no software prefetch.
+    pub fn rvv_integrated(vlen_bits: usize, l2_mib: usize) -> Self {
+        Self {
+            vlen_bits,
+            lanes: 8,
+            vpu: VpuStyle::Integrated,
+            l1: CacheGeometry { size_bytes: 64 * KIB, ways: 4, line_bytes: 64 },
+            l2: CacheGeometry { size_bytes: l2_mib * MIB, ways: 8, line_bytes: 64 },
+            sw_prefetch: false,
+            cost: CostModel::default(),
+            freq_ghz: 2.0,
+        }
+    }
+
+    /// Paper-I style decoupled VPU attached to the L2 cache.
+    pub fn rvv_decoupled(vlen_bits: usize, l2_mib: usize) -> Self {
+        Self { vpu: VpuStyle::Decoupled, ..Self::rvv_integrated(vlen_bits, l2_mib) }
+    }
+
+    /// An A64FX-like configuration: integrated 512-bit unit with hardware
+    /// prefetch honoured and a larger 8 MiB L2 (per-CMG share).
+    pub fn a64fx_like() -> Self {
+        Self {
+            sw_prefetch: true,
+            l2: CacheGeometry { size_bytes: 8 * MIB, ways: 16, line_bytes: 64 },
+            ..Self::rvv_integrated(512, 8)
+        }
+    }
+
+    /// Maximum vector length in 32-bit elements.
+    pub fn vlen_elems(&self) -> usize {
+        self.vlen_bits / 32
+    }
+
+    /// f32 elements retired per cycle by the arithmetic pipes.
+    pub fn elems_per_cycle(&self) -> usize {
+        (2 * self.lanes).max(1)
+    }
+
+    /// Convert a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::rvv_integrated(512, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlen_elems_matches_bits() {
+        assert_eq!(MachineConfig::rvv_integrated(512, 1).vlen_elems(), 16);
+        assert_eq!(MachineConfig::rvv_integrated(16384, 1).vlen_elems(), 512);
+    }
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeometry { size_bytes: 64 * KIB, ways: 4, line_bytes: 64 };
+        assert_eq!(g.sets(), 256);
+    }
+
+    #[test]
+    fn default_is_paper_baseline() {
+        let c = MachineConfig::default();
+        assert_eq!(c.vlen_bits, 512);
+        assert_eq!(c.l2.size_bytes, MIB);
+        assert_eq!(c.vpu, VpuStyle::Integrated);
+        assert!(!c.sw_prefetch);
+    }
+}

@@ -1,0 +1,47 @@
+//! # lv-sim — a long-vector machine timing simulator
+//!
+//! This crate is the substrate that replaces the paper's gem5 + RVV setup
+//! (see `DESIGN.md` §4). It models an in-order 2 GHz core with a
+//! vector-length-agnostic (VLA) vector unit — either *tightly integrated*
+//! (reads through L1, Paper II / ARM-SVE style) or *decoupled* (attached to
+//! L2, Paper I RISC-VV style) — above a set-associative L1/L2 hierarchy and
+//! a bandwidth-limited DRAM.
+//!
+//! Kernels are written exactly like VLA intrinsics code:
+//!
+//! ```
+//! use lv_sim::{Machine, MachineConfig, VReg};
+//!
+//! // y[i] += a * x[i], vector-length agnostic.
+//! let mut m = Machine::new(MachineConfig::rvv_integrated(1024, 1));
+//! let x = vec![1.0f32; 100];
+//! let mut y = vec![2.0f32; 100];
+//! let (vx, vy) = (VReg(0), VReg(1));
+//! let mut i = 0;
+//! while i < x.len() {
+//!     let vl = m.vsetvl(x.len() - i);
+//!     m.vle32(vx, &x[i..]);
+//!     m.vle32(vy, &y[i..]);
+//!     m.vfmacc_vf(vy, 3.0, vx);
+//!     m.vse32(vy, &mut y[i..]);
+//!     i += vl;
+//! }
+//! assert!(y.iter().all(|&v| v == 5.0));
+//! assert!(m.cycles() > 0);
+//! ```
+//!
+//! Every operation both computes real `f32` results and advances the cycle
+//! model, so the same kernel code is unit-testable for correctness and
+//! usable for the co-design sweeps.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod machine;
+mod stats;
+
+pub use cache::Cache;
+pub use config::{CacheGeometry, CostModel, MachineConfig, VpuStyle, KIB, MIB};
+pub use machine::{Machine, VReg, NUM_VREGS};
+pub use stats::Stats;

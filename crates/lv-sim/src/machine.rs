@@ -1,0 +1,998 @@
+//! The simulated long-vector machine.
+//!
+//! Kernels are written against this type exactly like intrinsics code: they
+//! request a vector length with [`Machine::vsetvl`], move data between host
+//! slices and the 32-entry vector register file, and issue arithmetic on
+//! registers. Every operation simultaneously
+//!
+//! 1. **computes** the real f32 result (so kernels are functionally testable
+//!    against golden references), and
+//! 2. **advances the cycle model**: issue + startup + `ceil(vl / elems-per-
+//!    cycle)` beats for arithmetic, plus per-cache-line costs for memory
+//!    operations routed through a real set-associative L1/L2 hierarchy.
+//!
+//! Host slice addresses double as simulated physical addresses, so cache
+//! behaviour reflects the kernels' true access patterns and footprints.
+
+use crate::cache::Cache;
+use crate::config::{CostModel, MachineConfig, VpuStyle};
+use crate::stats::Stats;
+
+/// Handle to one of the 32 architectural vector registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VReg(pub u8);
+
+/// Number of architectural vector registers (RVV and SVE both have 32).
+pub const NUM_VREGS: usize = 32;
+
+/// The simulated machine: vector register file, cache hierarchy, cycle model.
+pub struct Machine {
+    cfg: MachineConfig,
+    mvl: usize,
+    vl: usize,
+    vregs: Box<[f32]>,
+    scratch: Box<[f32]>,
+    l1: Cache,
+    l2: Cache,
+    stats: Stats,
+    /// Line-address memo for the last touched line, to dedup per-element
+    /// touches in strided/gather accesses.
+    epc: u64,
+    /// Optional L2 access trace: `(cycle, line)` per L2 access, for the
+    /// shared-cache contention replay (`lv-serving`).
+    l2_trace: Option<Vec<(u64, u64)>>,
+}
+
+impl Machine {
+    /// Build a machine for a hardware design point.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mvl = cfg.vlen_elems();
+        assert!(mvl >= 2 && mvl.is_power_of_two(), "vlen must be a power-of-two #elements");
+        Self {
+            mvl,
+            vl: mvl,
+            vregs: vec![0.0; NUM_VREGS * mvl].into_boxed_slice(),
+            scratch: vec![0.0; 8 * mvl].into_boxed_slice(),
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            stats: Stats::default(),
+            epc: cfg.elems_per_cycle() as u64,
+            l2_trace: None,
+            cfg,
+        }
+    }
+
+    /// Start recording every L2 access as a `(cycle, line)` pair. Used by
+    /// the co-location contention study; costs memory proportional to the
+    /// run's L2 traffic, so prefer scaled-down layers.
+    pub fn enable_l2_trace(&mut self) {
+        self.l2_trace = Some(Vec::new());
+    }
+
+    /// Take the recorded L2 trace (empty if tracing was never enabled).
+    pub fn take_l2_trace(&mut self) -> Vec<(u64, u64)> {
+        self.l2_trace.take().unwrap_or_default()
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Maximum vector length in f32 elements.
+    pub fn mvl(&self) -> usize {
+        self.mvl
+    }
+
+    /// Currently granted vector length in f32 elements.
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Total simulated cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.l1_accesses = self.l1.accesses();
+        s.l1_misses = self.l1.misses();
+        s.l2_accesses = self.l2.accesses();
+        s.l2_misses = self.l2.misses();
+        s
+    }
+
+    /// Clear timing counters and cache contents (cold start).
+    pub fn reset(&mut self) {
+        self.stats = Stats::default();
+        self.l1.reset();
+        self.l2.reset();
+        self.vl = self.mvl;
+    }
+
+    // ---------------------------------------------------------------- core
+
+    /// `vsetvl`: request `avl` elements, get `min(avl, MVL)` granted.
+    #[inline]
+    pub fn vsetvl(&mut self, avl: usize) -> usize {
+        debug_assert!(avl > 0, "vsetvl with zero avl");
+        self.vl = avl.min(self.mvl);
+        self.stats.cycles += self.cfg.cost.vsetvl;
+        self.stats.vsetvls += 1;
+        self.vl
+    }
+
+    #[inline]
+    fn reg(&self, r: VReg) -> &[f32] {
+        let base = r.0 as usize * self.mvl;
+        &self.vregs[base..base + self.vl]
+    }
+
+    #[inline]
+    fn reg_mut(&mut self, r: VReg) -> &mut [f32] {
+        let base = r.0 as usize * self.mvl;
+        &mut self.vregs[base..base + self.vl]
+    }
+
+    /// Split the register file into one mutable destination and up to two
+    /// shared sources. Panics if the destination aliases a source (RVV
+    /// allows it, but our kernels never rely on it and aliasing here would
+    /// be a kernel bug).
+    #[inline]
+    fn reg_dss(&mut self, d: VReg, a: VReg, b: VReg) -> (&mut [f32], &[f32], &[f32]) {
+        assert!(d != a && d != b, "destination register aliases a source");
+        let vl = self.vl;
+        let mvl = self.mvl;
+        let ptr = self.vregs.as_mut_ptr();
+        // SAFETY: d, a, b index disjoint mvl-sized segments of `vregs`
+        // (d != a, d != b asserted above; a == b is fine for shared refs),
+        // and vl <= mvl so the slices stay inside their segments.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(ptr.add(d.0 as usize * mvl), vl),
+                std::slice::from_raw_parts(ptr.add(a.0 as usize * mvl), vl),
+                std::slice::from_raw_parts(ptr.add(b.0 as usize * mvl), vl),
+            )
+        }
+    }
+
+    // ------------------------------------------------------------- timing
+
+    #[inline]
+    fn arith_cost(&mut self, n_instr: u64) {
+        let beats = (self.vl as u64).div_ceil(self.epc);
+        let c = &self.cfg.cost;
+        self.stats.cycles += n_instr * (c.issue + c.arith_startup + beats);
+        self.stats.vector_instrs += n_instr;
+        self.stats.vector_elems += n_instr * self.vl as u64;
+    }
+
+    /// Charge the cost of one line moving through the hierarchy, filling
+    /// caches on the way. Returns cycles.
+    #[inline]
+    fn line_cost(&mut self, line: u64, prefetched: bool) -> u64 {
+        let c = self.cfg.cost;
+        let disc = if prefetched { c.prefetch_discount } else { 1 };
+        match self.cfg.vpu {
+            VpuStyle::Integrated => {
+                if self.l1.access_line(line) {
+                    c.l1_line
+                } else if self.trace_l2(line) {
+                    (c.l2_line / disc).max(1)
+                } else {
+                    self.stats.mem_lines += 1;
+                    (c.mem_line / disc).max(1)
+                }
+            }
+            VpuStyle::Decoupled => {
+                // Vector memory bypasses L1 and talks to L2 directly.
+                if self.trace_l2(line) {
+                    (c.l2_line / disc).max(1)
+                } else {
+                    self.stats.mem_lines += 1;
+                    (c.mem_line / disc).max(1)
+                }
+            }
+        }
+    }
+
+    /// Access the L2 (recording the trace when enabled).
+    #[inline]
+    fn trace_l2(&mut self, line: u64) -> bool {
+        if let Some(t) = self.l2_trace.as_mut() {
+            t.push((self.stats.cycles, line));
+        }
+        self.l2.access_line(line)
+    }
+
+    /// Touch a contiguous byte range; returns cycle cost of the lines.
+    #[inline]
+    fn touch_range(&mut self, addr: usize, bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let line_bytes = 64usize;
+        let first = (addr / line_bytes) as u64;
+        let last = ((addr + bytes - 1) / line_bytes) as u64;
+        let mut cost = 0;
+        for line in first..=last {
+            cost += self.line_cost(line, false);
+        }
+        cost
+    }
+
+    #[inline]
+    fn mem_instr_base(&mut self) {
+        let c = &self.cfg.cost;
+        self.stats.cycles += c.issue + c.mem_startup;
+        self.stats.vector_instrs += 1;
+        self.stats.vector_elems += self.vl as u64;
+    }
+
+    // ------------------------------------------------- unit-stride memory
+
+    /// `vle32.v`: unit-stride load of `vl` elements from `src[0..vl]`.
+    #[inline]
+    pub fn vle32(&mut self, vd: VReg, src: &[f32]) {
+        let vl = self.vl;
+        assert!(src.len() >= vl, "vle32 source too short: {} < {}", src.len(), vl);
+        self.mem_instr_base();
+        let cost = self.touch_range(src.as_ptr() as usize, vl * 4);
+        self.stats.cycles += cost.max((vl as u64).div_ceil(self.epc));
+        self.reg_mut(vd).copy_from_slice(&src[..vl]);
+    }
+
+    /// `vse32.v`: unit-stride store of `vl` elements to `dst[0..vl]`.
+    #[inline]
+    pub fn vse32(&mut self, vs: VReg, dst: &mut [f32]) {
+        let vl = self.vl;
+        assert!(dst.len() >= vl, "vse32 destination too short: {} < {}", dst.len(), vl);
+        self.mem_instr_base();
+        let cost = self.touch_range(dst.as_ptr() as usize, vl * 4);
+        self.stats.cycles += cost.max((vl as u64).div_ceil(self.epc));
+        let base = vs.0 as usize * self.mvl;
+        dst[..vl].copy_from_slice(&self.vregs[base..base + vl]);
+    }
+
+    // ------------------------------------------------- strided and gather
+
+    #[inline]
+    fn gather_extra(&mut self) {
+        let g = self.cfg.cost.gather_elems_per_cycle.max(1);
+        self.stats.cycles += (self.vl as u64).div_ceil(g);
+    }
+
+    /// `vlse32.v`: strided load, element `i` comes from `src[i * stride]`.
+    pub fn vlse32(&mut self, vd: VReg, src: &[f32], stride: usize) {
+        let vl = self.vl;
+        assert!(stride > 0 && (vl - 1) * stride < src.len(), "vlse32 out of bounds");
+        self.mem_instr_base();
+        self.gather_extra();
+        let base_addr = src.as_ptr() as usize;
+        let mut cost = 0u64;
+        let mut last_line = u64::MAX;
+        for i in 0..vl {
+            let a = base_addr + i * stride * 4;
+            let line = (a / 64) as u64;
+            if line != last_line {
+                cost += self.line_cost(line, false);
+                last_line = line;
+            }
+        }
+        self.stats.cycles += cost;
+        let mvl = self.mvl;
+        let regs = &mut self.vregs[vd.0 as usize * mvl..vd.0 as usize * mvl + vl];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = src[i * stride];
+        }
+    }
+
+    /// `vsse32.v`: strided store, element `i` goes to `dst[i * stride]`.
+    pub fn vsse32(&mut self, vs: VReg, dst: &mut [f32], stride: usize) {
+        let vl = self.vl;
+        assert!(stride > 0 && (vl - 1) * stride < dst.len(), "vsse32 out of bounds");
+        self.mem_instr_base();
+        self.gather_extra();
+        let base_addr = dst.as_ptr() as usize;
+        let mut cost = 0u64;
+        let mut last_line = u64::MAX;
+        for i in 0..vl {
+            let a = base_addr + i * stride * 4;
+            let line = (a / 64) as u64;
+            if line != last_line {
+                cost += self.line_cost(line, false);
+                last_line = line;
+            }
+        }
+        self.stats.cycles += cost;
+        let base = vs.0 as usize * self.mvl;
+        for i in 0..vl {
+            dst[i * stride] = self.vregs[base + i];
+        }
+    }
+
+    /// Segmented load: fills the register with `nsegs` segments of
+    /// `seg_len` contiguous elements, segment `s` starting at
+    /// `src[s * seg_stride]`. Requires `vl == nsegs * seg_len`.
+    ///
+    /// `seg_stride == 0` replicates the same segment `nsegs` times (used by
+    /// the Direct kernel to broadcast a weight row across output pixels).
+    /// Models an RVV segment/indexed load.
+    pub fn vload_seg(&mut self, vd: VReg, src: &[f32], seg_len: usize, seg_stride: usize, nsegs: usize) {
+        let vl = self.vl;
+        assert_eq!(vl, nsegs * seg_len, "vload_seg: vl != nsegs * seg_len");
+        assert!((nsegs - 1) * seg_stride + seg_len <= src.len(), "vload_seg out of bounds");
+        self.mem_instr_base();
+        self.gather_extra();
+        let base_addr = src.as_ptr() as usize;
+        let mut cost = 0u64;
+        let mut last_line = u64::MAX;
+        for s in 0..nsegs {
+            let a0 = base_addr + s * seg_stride * 4;
+            let first = (a0 / 64) as u64;
+            let last = ((a0 + seg_len * 4 - 1) / 64) as u64;
+            for line in first..=last {
+                if line != last_line {
+                    cost += self.line_cost(line, false);
+                    last_line = line;
+                }
+            }
+        }
+        self.stats.cycles += cost;
+        let mvl = self.mvl;
+        let regs = &mut self.vregs[vd.0 as usize * mvl..vd.0 as usize * mvl + vl];
+        for s in 0..nsegs {
+            let off = s * seg_stride;
+            regs[s * seg_len..(s + 1) * seg_len].copy_from_slice(&src[off..off + seg_len]);
+        }
+    }
+
+    /// Segmented store: inverse of [`Machine::vload_seg`] (`seg_stride > 0`).
+    pub fn vstore_seg(&mut self, vs: VReg, dst: &mut [f32], seg_len: usize, seg_stride: usize, nsegs: usize) {
+        let vl = self.vl;
+        assert_eq!(vl, nsegs * seg_len, "vstore_seg: vl != nsegs * seg_len");
+        assert!(seg_stride > 0, "vstore_seg with zero stride would overwrite");
+        assert!((nsegs - 1) * seg_stride + seg_len <= dst.len(), "vstore_seg out of bounds");
+        self.mem_instr_base();
+        self.gather_extra();
+        let base_addr = dst.as_ptr() as usize;
+        let mut cost = 0u64;
+        let mut last_line = u64::MAX;
+        for s in 0..nsegs {
+            let a0 = base_addr + s * seg_stride * 4;
+            let first = (a0 / 64) as u64;
+            let last = ((a0 + seg_len * 4 - 1) / 64) as u64;
+            for line in first..=last {
+                if line != last_line {
+                    cost += self.line_cost(line, false);
+                    last_line = line;
+                }
+            }
+        }
+        self.stats.cycles += cost;
+        let base = vs.0 as usize * self.mvl;
+        for s in 0..nsegs {
+            let off = s * seg_stride;
+            dst[off..off + seg_len].copy_from_slice(&self.vregs[base + s * seg_len..base + (s + 1) * seg_len]);
+        }
+    }
+
+    /// Masked segmented store: the register is viewed as `nsegs` blocks of
+    /// `seg_block` elements, but only the first `seg_valid` elements of each
+    /// block are stored (segment `s` lands at `dst[s * seg_stride ..]`).
+    /// Models a predicated segment store; used for clipped Winograd output
+    /// tiles. Requires `vl == nsegs * seg_block` and `seg_valid <= seg_block`.
+    pub fn vstore_seg_partial(
+        &mut self,
+        vs: VReg,
+        dst: &mut [f32],
+        seg_valid: usize,
+        seg_block: usize,
+        seg_stride: usize,
+        nsegs: usize,
+    ) {
+        let vl = self.vl;
+        assert_eq!(vl, nsegs * seg_block, "vstore_seg_partial: vl != nsegs * seg_block");
+        assert!(seg_valid <= seg_block && seg_valid > 0);
+        assert!(
+            (nsegs - 1) * seg_stride + seg_valid <= dst.len(),
+            "vstore_seg_partial out of bounds"
+        );
+        self.mem_instr_base();
+        self.gather_extra();
+        let base_addr = dst.as_ptr() as usize;
+        let mut cost = 0u64;
+        let mut last_line = u64::MAX;
+        for s in 0..nsegs {
+            let a0 = base_addr + s * seg_stride * 4;
+            let first = (a0 / 64) as u64;
+            let last = ((a0 + seg_valid * 4 - 1) / 64) as u64;
+            for line in first..=last {
+                if line != last_line {
+                    cost += self.line_cost(line, false);
+                    last_line = line;
+                }
+            }
+        }
+        self.stats.cycles += cost;
+        let base = vs.0 as usize * self.mvl;
+        for s in 0..nsegs {
+            let off = s * seg_stride;
+            dst[off..off + seg_valid]
+                .copy_from_slice(&self.vregs[base + s * seg_block..base + s * seg_block + seg_valid]);
+        }
+    }
+
+    /// Indexed load with repetition: element `i` is
+    /// `src[(i / repeat) * stride]`, i.e. each gathered element is repeated
+    /// `repeat` times. Used by the Direct kernel to pair one input pixel
+    /// with a full row of output channels. Requires `repeat` divides `vl`.
+    pub fn vgather_repeat(&mut self, vd: VReg, src: &[f32], stride: usize, repeat: usize) {
+        let vl = self.vl;
+        assert!(repeat > 0 && vl % repeat == 0, "vgather_repeat: repeat must divide vl");
+        let npix = vl / repeat;
+        assert!(npix == 0 || (npix - 1) * stride < src.len(), "vgather_repeat out of bounds");
+        self.mem_instr_base();
+        self.gather_extra();
+        let base_addr = src.as_ptr() as usize;
+        let mut cost = 0u64;
+        let mut last_line = u64::MAX;
+        for p in 0..npix {
+            let a = base_addr + p * stride * 4;
+            let line = (a / 64) as u64;
+            if line != last_line {
+                cost += self.line_cost(line, false);
+                last_line = line;
+            }
+        }
+        self.stats.cycles += cost;
+        let mvl = self.mvl;
+        let regs = &mut self.vregs[vd.0 as usize * mvl..vd.0 as usize * mvl + vl];
+        for p in 0..npix {
+            let v = src[p * stride];
+            regs[p * repeat..(p + 1) * repeat].fill(v);
+        }
+    }
+
+    // -------------------------------------------------------- arithmetic
+
+    /// `vfmv.v.f`: splat a scalar into a register.
+    #[inline]
+    pub fn vfmv_v_f(&mut self, vd: VReg, x: f32) {
+        self.arith_cost(1);
+        self.reg_mut(vd).fill(x);
+    }
+
+    /// `vmv.v.v`: register-to-register copy.
+    #[inline]
+    pub fn vmv(&mut self, vd: VReg, vs: VReg) {
+        self.arith_cost(1);
+        if vd == vs {
+            return;
+        }
+        let (d, a, _) = self.reg_dss(vd, vs, vs);
+        d.copy_from_slice(a);
+    }
+
+    /// `vfmacc.vf`: `vd[i] += f * vs[i]` (the workhorse of every kernel).
+    #[inline]
+    pub fn vfmacc_vf(&mut self, vd: VReg, f: f32, vs: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += 2 * self.vl as u64;
+        let (d, a, _) = self.reg_dss(vd, vs, vs);
+        for (x, &y) in d.iter_mut().zip(a) {
+            *x += f * y;
+        }
+    }
+
+    /// `vfmacc.vv`: `vd[i] += va[i] * vb[i]`.
+    #[inline]
+    pub fn vfmacc_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += 2 * self.vl as u64;
+        let (d, a, b) = self.reg_dss(vd, va, vb);
+        for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
+            *x += y * z;
+        }
+    }
+
+    /// `vfnmsac.vv`: `vd[i] -= va[i] * vb[i]`.
+    #[inline]
+    pub fn vfnmsac_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += 2 * self.vl as u64;
+        let (d, a, b) = self.reg_dss(vd, va, vb);
+        for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
+            *x -= y * z;
+        }
+    }
+
+    /// `vfadd.vv`: `vd[i] = va[i] + vb[i]`.
+    #[inline]
+    pub fn vfadd_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += self.vl as u64;
+        if vd == va {
+            let (d, b, _) = self.reg_dss(vd, vb, vb);
+            for (x, &z) in d.iter_mut().zip(b) {
+                *x += z;
+            }
+        } else if vd == vb {
+            let (d, a, _) = self.reg_dss(vd, va, va);
+            for (x, &y) in d.iter_mut().zip(a) {
+                *x += y;
+            }
+        } else {
+            let (d, a, b) = self.reg_dss(vd, va, vb);
+            for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
+                *x = y + z;
+            }
+        }
+    }
+
+    /// `vfsub.vv`: `vd[i] = va[i] - vb[i]` (vd must not alias sources).
+    #[inline]
+    pub fn vfsub_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += self.vl as u64;
+        let (d, a, b) = self.reg_dss(vd, va, vb);
+        for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
+            *x = y - z;
+        }
+    }
+
+    /// `vfmul.vv`: `vd[i] = va[i] * vb[i]` (vd must not alias sources).
+    #[inline]
+    pub fn vfmul_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += self.vl as u64;
+        let (d, a, b) = self.reg_dss(vd, va, vb);
+        for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
+            *x = y * z;
+        }
+    }
+
+    /// `vfmul.vf`: `vd[i] = f * vs[i]`; `vd == vs` allowed (in-place scale).
+    #[inline]
+    pub fn vfmul_vf(&mut self, vd: VReg, f: f32, vs: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += self.vl as u64;
+        if vd == vs {
+            for x in self.reg_mut(vd) {
+                *x *= f;
+            }
+        } else {
+            let (d, a, _) = self.reg_dss(vd, vs, vs);
+            for (x, &y) in d.iter_mut().zip(a) {
+                *x = f * y;
+            }
+        }
+    }
+
+    /// `vfadd.vf`: `vd[i] = f + vs[i]`; `vd == vs` allowed.
+    #[inline]
+    pub fn vfadd_vf(&mut self, vd: VReg, f: f32, vs: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += self.vl as u64;
+        if vd == vs {
+            for x in self.reg_mut(vd) {
+                *x += f;
+            }
+        } else {
+            let (d, a, _) = self.reg_dss(vd, vs, vs);
+            for (x, &y) in d.iter_mut().zip(a) {
+                *x = f + y;
+            }
+        }
+    }
+
+    /// `vfmax.vv`: elementwise max (for max-pooling); `vd == va` allowed.
+    #[inline]
+    pub fn vfmax_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.arith_cost(1);
+        self.stats.flops += self.vl as u64;
+        if vd == va {
+            let (d, b, _) = self.reg_dss(vd, vb, vb);
+            for (x, &z) in d.iter_mut().zip(b) {
+                *x = x.max(z);
+            }
+        } else {
+            let (d, a, b) = self.reg_dss(vd, va, vb);
+            for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
+                *x = y.max(z);
+            }
+        }
+    }
+
+    /// Leaky-ReLU on a register: `x = if x < 0 { alpha * x } else { x }`.
+    /// Modeled as two vector instructions (compare + predicated multiply).
+    #[inline]
+    pub fn vleaky(&mut self, vd: VReg, alpha: f32) {
+        self.arith_cost(2);
+        self.stats.flops += self.vl as u64;
+        for x in self.reg_mut(vd) {
+            if *x < 0.0 {
+                *x *= alpha;
+            }
+        }
+    }
+
+    /// `vfredsum`: horizontal sum of the register; costs an extra
+    /// log-depth reduction tree on top of one pass through the lanes.
+    pub fn vredsum(&mut self, vs: VReg) -> f32 {
+        let c = &self.cfg.cost;
+        let beats = (self.vl as u64).div_ceil(self.epc);
+        let tree = (self.epc as f64).log2().ceil() as u64;
+        self.stats.cycles += c.issue + c.arith_startup + beats + tree;
+        self.stats.vector_instrs += 1;
+        self.stats.vector_elems += self.vl as u64;
+        self.stats.flops += self.vl as u64;
+        self.reg(vs).iter().sum()
+    }
+
+    /// Transpose each consecutive 8x8 block held across eight registers:
+    /// register `regs[r]`, lane block `c` holds row `r` of tile `c`. After
+    /// the call, lane blocks hold the transposed tiles. Requires `vl` to be
+    /// a multiple of 8. Models the zip/unzip ladder SVE and RVV use
+    /// (24 register permutes for 8 registers).
+    pub fn vtranspose8(&mut self, regs: [VReg; 8]) {
+        self.vtranspose_n(&regs);
+    }
+
+    /// Generalized block transpose: `regs.len() == n` registers, each lane
+    /// block of `n` elements in register `r` holds row `r` of an `n x n`
+    /// tile; after the call lane blocks hold the transposed tiles.
+    /// Requires `vl % n == 0`. Cost models the zip/unzip ladder
+    /// (`3n` register permutes for `n` registers).
+    pub fn vtranspose_n(&mut self, regs: &[VReg]) {
+        let n = regs.len();
+        let vl = self.vl;
+        assert!(n >= 2 && n <= 8, "vtranspose_n supports 2..=8 registers");
+        assert_eq!(vl % n, 0, "vtranspose_n requires vl % n == 0");
+        let permutes = (3 * n) as u64;
+        let c = &self.cfg.cost;
+        let beats = (vl as u64).div_ceil(self.epc);
+        self.stats.cycles += permutes * (c.issue + beats);
+        self.stats.vector_instrs += permutes;
+        self.stats.vector_elems += permutes * vl as u64;
+        let mvl = self.mvl;
+        let nblocks = vl / n;
+        // Gather into scratch, transposed, then write back.
+        for blk in 0..nblocks {
+            for (r, reg) in regs.iter().enumerate() {
+                let base = reg.0 as usize * mvl + blk * n;
+                for col in 0..n {
+                    self.scratch[(blk * n + col) * n + r] = self.vregs[base + col];
+                }
+            }
+        }
+        for blk in 0..nblocks {
+            for (r, reg) in regs.iter().enumerate() {
+                let base = reg.0 as usize * mvl + blk * n;
+                let off = (blk * n + r) * n;
+                self.vregs[base..base + n].copy_from_slice(&self.scratch[off..off + n]);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ scalar
+
+    /// Charge `n` scalar ALU operations (loop control, address math that
+    /// the vector unit cannot hide).
+    #[inline]
+    pub fn scalar_ops(&mut self, n: u64) {
+        self.stats.cycles += n * self.cfg.cost.scalar_op;
+        self.stats.scalar_ops += n;
+    }
+
+    /// Scalar load: reads `src[idx]` through the cache hierarchy (always
+    /// via L1, even on a decoupled-VPU machine — the scalar core owns L1).
+    pub fn scalar_load(&mut self, src: &[f32], idx: usize) -> f32 {
+        let c = self.cfg.cost;
+        let addr = src.as_ptr() as usize + idx * 4;
+        let line = (addr / 64) as u64;
+        let cost = if self.l1.access_line(line) {
+            c.l1_line
+        } else if self.l2.access_line(line) {
+            c.l2_line
+        } else {
+            self.stats.mem_lines += 1;
+            c.mem_line
+        };
+        self.stats.cycles += c.scalar_op + cost;
+        self.stats.scalar_ops += 1;
+        src[idx]
+    }
+
+    /// Scalar load whose ALU/issue cost is hidden under concurrent vector
+    /// work (dual-issue in-order pipelines overlap scalar loads with vector
+    /// arithmetic): only cache-miss cycles are charged, but the access still
+    /// exercises the hierarchy so footprints are accounted. Used for the
+    /// GEMM kernels' A-element broadcasts.
+    pub fn scalar_load_hidden(&mut self, src: &[f32], idx: usize) -> f32 {
+        let c = self.cfg.cost;
+        let addr = src.as_ptr() as usize + idx * 4;
+        let line = (addr / 64) as u64;
+        if !self.l1.access_line(line) {
+            let cost = if self.l2.access_line(line) {
+                c.l2_line
+            } else {
+                self.stats.mem_lines += 1;
+                c.mem_line
+            };
+            self.stats.cycles += cost;
+        }
+        self.stats.scalar_ops += 1;
+        src[idx]
+    }
+
+    /// Scalar store: writes `dst[idx]` through the cache hierarchy.
+    pub fn scalar_store(&mut self, dst: &mut [f32], idx: usize, v: f32) {
+        let c = self.cfg.cost;
+        let addr = dst.as_ptr() as usize + idx * 4;
+        let line = (addr / 64) as u64;
+        let cost = if self.l1.access_line(line) {
+            c.l1_line
+        } else if self.l2.access_line(line) {
+            c.l2_line
+        } else {
+            self.stats.mem_lines += 1;
+            c.mem_line
+        };
+        self.stats.cycles += c.scalar_op + cost;
+        self.stats.scalar_ops += 1;
+        dst[idx] = v;
+    }
+
+    /// Scalar fused multiply-add, counted as one scalar op + 2 flops.
+    #[inline]
+    pub fn scalar_fma(&mut self) {
+        self.stats.cycles += self.cfg.cost.scalar_op;
+        self.stats.scalar_ops += 1;
+        self.stats.flops += 2;
+    }
+
+    // ---------------------------------------------------------- prefetch
+
+    /// Software prefetch of `bytes` starting at `&src[offset]`. On machines
+    /// without effective software prefetch (`sw_prefetch == false`, as on
+    /// the paper's RISC-VV toolchain and gem5 model) this is dropped by the
+    /// "compiler" at zero cost. When honoured, lines are pulled into the
+    /// hierarchy at a discounted (latency-hidden) cost.
+    pub fn prefetch(&mut self, src: &[f32], offset: usize, bytes: usize) {
+        if !self.cfg.sw_prefetch || bytes == 0 {
+            return;
+        }
+        let end = (offset * 4 + bytes).min(src.len() * 4);
+        let start = offset * 4;
+        if start >= end {
+            return;
+        }
+        let base = src.as_ptr() as usize;
+        let first = ((base + start) / 64) as u64;
+        let last = ((base + end - 1) / 64) as u64;
+        let mut cost = 0u64;
+        for line in first..=last {
+            if !self.probe_resident(line) {
+                self.stats.prefetch_lines += 1;
+                cost += self.line_cost(line, true);
+            }
+        }
+        self.stats.cycles += cost;
+    }
+
+    #[inline]
+    fn probe_resident(&self, line: u64) -> bool {
+        match self.cfg.vpu {
+            VpuStyle::Integrated => self.l1.probe(line) || self.l2.probe(line),
+            VpuStyle::Decoupled => self.l2.probe(line),
+        }
+    }
+
+    /// Direct read access to a register's live elements (for tests).
+    pub fn read_reg(&self, r: VReg) -> &[f32] {
+        self.reg(r)
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("vlen_bits", &self.cfg.vlen_bits)
+            .field("vl", &self.vl)
+            .field("cycles", &self.stats.cycles)
+            .finish()
+    }
+}
+
+/// Convenience: cost model access for kernels that want to reason about
+/// unroll factors etc.
+impl Machine {
+    /// Cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn mk(vlen: usize) -> Machine {
+        Machine::new(MachineConfig::rvv_integrated(vlen, 1))
+    }
+
+    #[test]
+    fn vsetvl_grants_min() {
+        let mut m = mk(512); // 16 elems
+        assert_eq!(m.vsetvl(100), 16);
+        assert_eq!(m.vsetvl(7), 7);
+    }
+
+    #[test]
+    fn load_compute_store_roundtrip() {
+        let mut m = mk(512);
+        let src: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut dst = vec![0.0f32; 16];
+        m.vsetvl(16);
+        m.vle32(VReg(1), &src);
+        m.vfmul_vf(VReg(2), 2.0, VReg(1));
+        m.vse32(VReg(2), &mut dst);
+        let want: Vec<f32> = (0..16).map(|i| 2.0 * i as f32).collect();
+        assert_eq!(dst, want);
+        assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn fmacc_vf_computes() {
+        let mut m = mk(512);
+        m.vsetvl(4);
+        m.vfmv_v_f(VReg(0), 1.0);
+        m.vfmv_v_f(VReg(1), 3.0);
+        m.vfmacc_vf(VReg(0), 2.0, VReg(1));
+        assert_eq!(m.read_reg(VReg(0)), &[7.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn strided_load_gathers() {
+        let mut m = mk(512);
+        let src: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        m.vsetvl(8);
+        m.vlse32(VReg(3), &src, 8);
+        assert_eq!(m.read_reg(VReg(3)), &[0.0, 8.0, 16.0, 24.0, 32.0, 40.0, 48.0, 56.0]);
+    }
+
+    #[test]
+    fn seg_load_with_zero_stride_replicates() {
+        let mut m = mk(512);
+        let src = vec![1.0f32, 2.0, 3.0, 4.0];
+        m.vsetvl(8);
+        m.vload_seg(VReg(0), &src, 4, 0, 2);
+        assert_eq!(m.read_reg(VReg(0)), &[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_repeat_expands_pixels() {
+        let mut m = mk(512);
+        let src: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        m.vsetvl(8);
+        m.vgather_repeat(VReg(0), &src, 10, 4);
+        assert_eq!(m.read_reg(VReg(0)), &[0.0, 0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn transpose8_transposes_blocks() {
+        let mut m = mk(512); // vl = 16 -> two 8x8 blocks
+        m.vsetvl(16);
+        let regs: [VReg; 8] = std::array::from_fn(|i| VReg(i as u8));
+        // Fill: reg r, block b, col c = r*100 + b*10 + c
+        for r in 0..8 {
+            let vals: Vec<f32> =
+                (0..16).map(|i| (r * 100 + (i / 8) * 10 + (i % 8)) as f32).collect();
+            m.vle32(regs[r], &vals);
+        }
+        m.vtranspose8(regs);
+        // After transpose: reg r, block b, col c = c*100 + b*10 + r
+        for r in 0..8 {
+            let got = m.read_reg(regs[r]).to_vec();
+            for (i, &g) in got.iter().enumerate() {
+                let (b, c) = (i / 8, i % 8);
+                assert_eq!(g, (c * 100 + b * 10 + r) as f32, "reg {r} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_load_hits_cache_and_costs_less() {
+        let mut m = mk(512);
+        let src = vec![1.0f32; 16];
+        m.vsetvl(16);
+        let c0 = m.cycles();
+        m.vle32(VReg(0), &src);
+        let cold = m.cycles() - c0;
+        let c1 = m.cycles();
+        m.vle32(VReg(0), &src);
+        let warm = m.cycles() - c1;
+        assert!(warm < cold, "warm {warm} should be cheaper than cold {cold}");
+    }
+
+    #[test]
+    fn longer_vectors_amortize_startup() {
+        // Same total work (4096 elements of FMA), two vector lengths.
+        let run = |vlen: usize| {
+            let mut m = mk(vlen);
+            let mut rem = 4096usize;
+            while rem > 0 {
+                let vl = m.vsetvl(rem);
+                m.vfmacc_vf(VReg(0), 1.5, VReg(1));
+                rem -= vl;
+            }
+            m.cycles()
+        };
+        assert!(run(4096) < run(512));
+    }
+
+    #[test]
+    fn decoupled_vpu_skips_l1() {
+        let mut m = Machine::new(MachineConfig::rvv_decoupled(512, 1));
+        let src = vec![0.0f32; 16];
+        m.vsetvl(16);
+        m.vle32(VReg(0), &src);
+        let s = m.stats();
+        assert_eq!(s.l1_accesses, 0);
+        assert!(s.l2_accesses > 0);
+    }
+
+    #[test]
+    fn prefetch_noop_without_support() {
+        let mut m = mk(512);
+        let src = vec![0.0f32; 1024];
+        let c0 = m.cycles();
+        m.prefetch(&src, 0, 4096);
+        assert_eq!(m.cycles(), c0);
+        assert_eq!(m.stats().prefetch_lines, 0);
+    }
+
+    #[test]
+    fn prefetch_warms_cache_when_supported() {
+        let mut m = Machine::new(MachineConfig::a64fx_like());
+        let src = vec![1.0f32; 256];
+        m.prefetch(&src, 0, 1024);
+        assert!(m.stats().prefetch_lines > 0);
+        // A subsequent load should be all hits: compare against a cold run.
+        let pre_cycles = m.cycles();
+        m.vsetvl(16);
+        m.vle32(VReg(0), &src);
+        let warm_cost = m.cycles() - pre_cycles;
+
+        let mut cold = Machine::new(MachineConfig::a64fx_like());
+        cold.vsetvl(16);
+        let c0 = cold.cycles();
+        cold.vle32(VReg(0), &src);
+        let cold_cost = cold.cycles() - c0;
+        assert!(warm_cost < cold_cost);
+    }
+
+    #[test]
+    fn stats_track_avg_vl() {
+        let mut m = mk(1024); // 32 elems
+        m.vsetvl(32);
+        m.vfmv_v_f(VReg(0), 0.0);
+        m.vsetvl(16);
+        m.vfmv_v_f(VReg(0), 0.0);
+        let s = m.stats();
+        assert_eq!(s.vector_instrs, 2);
+        assert!((s.avg_vl() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliases")]
+    fn aliasing_dest_panics() {
+        let mut m = mk(512);
+        m.vsetvl(4);
+        m.vfmacc_vv(VReg(1), VReg(1), VReg(2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Deterministic synthetic data generation.
+//!
+//! Inference cycle counts of dense f32 CNN kernels are data-independent, so
+//! the experiments use reproducible pseudo-random activations/weights in
+//! place of the paper's 768x576 test image and Darknet weight files.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::aligned::AlignedVec;
+
+/// Fill a slice with reproducible values in (-1, 1) derived from `seed`.
+pub fn fill_pseudo(buf: &mut [f32], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+    for x in buf.iter_mut() {
+        *x = rng.gen_range(-1.0..1.0);
+    }
+}
+
+/// Allocate an aligned buffer filled with pseudo-random values.
+pub fn pseudo_buf(len: usize, seed: u64) -> AlignedVec {
+    let mut v = AlignedVec::zeroed(len);
+    fill_pseudo(&mut v, seed);
+    v
+}
+
+/// Weights scaled down Xavier-style so deep stacks of layers do not
+/// overflow f32 during full-network runs.
+pub fn pseudo_weights(len: usize, fan_in: usize, seed: u64) -> AlignedVec {
+    let mut v = pseudo_buf(len, seed);
+    let scale = (1.0 / (fan_in.max(1) as f32)).sqrt();
+    for x in v.iter_mut() {
+        *x *= scale;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = pseudo_buf(64, 42);
+        let b = pseudo_buf(64, 42);
+        assert_eq!(&a[..], &b[..]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = pseudo_buf(64, 1);
+        let b = pseudo_buf(64, 2);
+        assert_ne!(&a[..], &b[..]);
+    }
+
+    #[test]
+    fn range_bounded() {
+        let a = pseudo_buf(1000, 7);
+        assert!(a.iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn weights_scaled_by_fan_in() {
+        let w = pseudo_weights(100, 400, 3);
+        assert!(w.iter().all(|&x| x.abs() <= 0.05 + 1e-6));
+    }
+}

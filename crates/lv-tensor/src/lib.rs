@@ -1,0 +1,22 @@
+//! # lv-tensor — tensors, layouts and golden references
+//!
+//! Shared plumbing for the co-design study: page-aligned buffers (for
+//! reproducible simulated cache behaviour), convolution layer geometry,
+//! scalar golden references for validation, and deterministic data
+//! generation. This crate stands in for the tensor machinery the paper
+//! inherits from the Darknet framework.
+
+#![warn(missing_docs)]
+
+mod aligned;
+mod datagen;
+mod reference;
+mod shape;
+
+pub use aligned::{AlignedVec, BUF_ALIGN};
+pub use datagen::{fill_pseudo, pseudo_buf, pseudo_weights};
+pub use reference::{
+    conv2d_reference, gemm_reference, im2col_reference, max_rel_error, nchw_to_nhwc,
+    nhwc_to_nchw,
+};
+pub use shape::ConvShape;

@@ -1,0 +1,174 @@
+//! Golden scalar references used to validate every vectorized kernel.
+
+use crate::shape::ConvShape;
+
+/// Reference direct convolution, NCHW input/output, OIHW weights,
+/// zero padding. The ground truth for all kernel tests.
+pub fn conv2d_reference(s: &ConvShape, input: &[f32], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(input.len(), s.input_len());
+    assert_eq!(weights.len(), s.weight_len());
+    let (oh, ow) = (s.oh(), s.ow());
+    let mut out = vec![0.0f32; s.output_len()];
+    for oc in 0..s.oc {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ic in 0..s.ic {
+                    for ky in 0..s.kh {
+                        for kx in 0..s.kw {
+                            let iy = (oy * s.stride + ky) as isize - s.pad as isize;
+                            let ix = (ox * s.stride + kx) as isize - s.pad as isize;
+                            if iy < 0 || ix < 0 || iy >= s.ih as isize || ix >= s.iw as isize {
+                                continue;
+                            }
+                            let iv = input[(ic * s.ih + iy as usize) * s.iw + ix as usize];
+                            let wv = weights[((oc * s.ic + ic) * s.kh + ky) * s.kw + kx];
+                            acc += iv * wv;
+                        }
+                    }
+                }
+                out[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Reference im2col: lowers the input into the `K x N` column matrix
+/// (`K = ic*kh*kw`, `N = oh*ow`), zero-filled outside the image.
+pub fn im2col_reference(s: &ConvShape, input: &[f32]) -> Vec<f32> {
+    let (_, k, n) = s.gemm_mkn();
+    let (oh, ow) = (s.oh(), s.ow());
+    let mut col = vec![0.0f32; k * n];
+    for ic in 0..s.ic {
+        for ky in 0..s.kh {
+            for kx in 0..s.kw {
+                let krow = (ic * s.kh + ky) * s.kw + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let iy = (oy * s.stride + ky) as isize - s.pad as isize;
+                        let ix = (ox * s.stride + kx) as isize - s.pad as isize;
+                        if iy < 0 || ix < 0 || iy >= s.ih as isize || ix >= s.iw as isize {
+                            continue;
+                        }
+                        col[krow * n + oy * ow + ox] =
+                            input[(ic * s.ih + iy as usize) * s.iw + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Reference row-major GEMM: `C = A(MxK) * B(KxN)`.
+pub fn gemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Maximum relative error between two tensors, with an absolute floor to
+/// avoid blowing up near zero.
+pub fn max_rel_error(got: &[f32], want: &[f32]) -> f64 {
+    assert_eq!(got.len(), want.len());
+    got.iter()
+        .zip(want)
+        .map(|(&g, &w)| {
+            let denom = w.abs().max(1e-3) as f64;
+            ((g - w).abs() as f64) / denom
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Convert an NCHW tensor to NHWC.
+pub fn nchw_to_nhwc(c: usize, h: usize, w: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), c * h * w);
+    assert_eq!(dst.len(), c * h * w);
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                dst[(y * w + x) * c + ch] = src[(ch * h + y) * w + x];
+            }
+        }
+    }
+}
+
+/// Convert an NHWC tensor to NCHW.
+pub fn nhwc_to_nchw(c: usize, h: usize, w: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), c * h * w);
+    assert_eq!(dst.len(), c * h * w);
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                dst[(ch * h + y) * w + x] = src[(y * w + x) * c + ch];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::fill_pseudo;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1.0 on one channel = identity.
+        let s = ConvShape { ic: 1, ih: 4, iw: 4, oc: 1, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out = conv2d_reference(&s, &input, &[1.0]);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn im2col_then_gemm_equals_direct() {
+        let s = ConvShape::same_pad(3, 4, 8, 3, 1);
+        let mut input = vec![0.0; s.input_len()];
+        let mut weights = vec![0.0; s.weight_len()];
+        fill_pseudo(&mut input, 1);
+        fill_pseudo(&mut weights, 2);
+        let direct = conv2d_reference(&s, &input, &weights);
+        let col = im2col_reference(&s, &input);
+        let (m, k, n) = s.gemm_mkn();
+        let gemm = gemm_reference(m, k, n, &weights, &col);
+        assert!(max_rel_error(&gemm, &direct) < 1e-4);
+    }
+
+    #[test]
+    fn strided_conv_shapes() {
+        let s = ConvShape::same_pad(2, 3, 9, 3, 2);
+        let input = vec![1.0; s.input_len()];
+        let weights = vec![1.0; s.weight_len()];
+        let out = conv2d_reference(&s, &input, &weights);
+        assert_eq!(out.len(), s.output_len());
+        // Center pixels see all 2*3*3 = 18 inputs.
+        let (oh, ow) = (s.oh(), s.ow());
+        assert_eq!(out[(oh / 2) * ow + ow / 2], 18.0);
+    }
+
+    #[test]
+    fn layout_roundtrip() {
+        let (c, h, w) = (3, 4, 5);
+        let src: Vec<f32> = (0..c * h * w).map(|i| i as f32).collect();
+        let mut nhwc = vec![0.0; src.len()];
+        let mut back = vec![0.0; src.len()];
+        nchw_to_nhwc(c, h, w, &src, &mut nhwc);
+        nhwc_to_nchw(c, h, w, &nhwc, &mut back);
+        assert_eq!(src, back);
+        // Spot-check one element: channel 2, y=1, x=3.
+        assert_eq!(nhwc[(1 * w + 3) * c + 2], src[(2 * h + 1) * w + 3]);
+    }
+}

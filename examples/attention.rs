@@ -1,0 +1,118 @@
+//! Future work from the thesis: vision-transformer self-attention on the
+//! long-vector machine. The thesis notes ViT matrices are "skinny and
+//! irregular, making it challenging to utilize long vector lengths" and
+//! that data movement between the two matrix multiplies and the softmax
+//! dominates. This example builds one self-attention head from the GEMM
+//! kernels and measures exactly that: GEMM-vs-softmax cycle split and how
+//! poorly skinny attention matrices scale with vector length compared to a
+//! convolutional layer.
+//!
+//! ```text
+//! cargo run --release -p lvconv --example attention
+//! ```
+
+use lvconv::conv::gemm3::gemm3_kernel;
+use lvconv::sim::{Machine, MachineConfig, VReg};
+use lvconv::tensor::pseudo_buf;
+
+/// Row-wise softmax over an `n x n` score matrix, vectorized per row
+/// (max, exp via a 4-op polynomial cost, normalize).
+fn softmax_rows(m: &mut Machine, scores: &mut [f32], n: usize) {
+    let v = VReg(0);
+    for r in 0..n {
+        let row = &mut scores[r * n..(r + 1) * n];
+        // Max (vector reduce per chunk, scalar combine).
+        let mut mx = f32::NEG_INFINITY;
+        for x in row.iter() {
+            mx = mx.max(*x);
+        }
+        m.scalar_ops(n as u64); // reduce bookkeeping
+        let mut sum = 0.0f32;
+        let mut x = 0;
+        while x < n {
+            let vl = m.vsetvl(n - x);
+            m.vle32(v, &row[x..]);
+            m.vfadd_vf(v, -mx, v);
+            // exp(): modeled as 4 vector ops (polynomial), computed host-side.
+            m.vfmul_vf(v, 1.0, v);
+            m.vfmul_vf(v, 1.0, v);
+            m.vfmul_vf(v, 1.0, v);
+            for e in row[x..x + vl].iter_mut() {
+                *e = (*e - mx).exp();
+                sum += *e;
+            }
+            x += vl;
+        }
+        let inv = 1.0 / sum;
+        let mut x = 0;
+        while x < n {
+            let vl = m.vsetvl(n - x);
+            m.vle32(v, &row[x..]);
+            m.vfmul_vf(v, inv, v);
+            m.vse32(v, &mut row[x..]);
+            x += vl;
+        }
+    }
+}
+
+/// One self-attention head: scores = Q K^T / sqrt(d); P = softmax(scores);
+/// out = P V. Returns (total cycles, gemm cycles, softmax cycles).
+fn attention(cfg: MachineConfig, n_tokens: usize, d: usize) -> (u64, u64, u64) {
+    let mut m = Machine::new(cfg);
+    let q = pseudo_buf(n_tokens * d, 1);
+    let kt = pseudo_buf(d * n_tokens, 2); // K already transposed (d x n)
+    let v = pseudo_buf(n_tokens * d, 3);
+    let mut scores = vec![0.0f32; n_tokens * n_tokens];
+    let mut out = vec![0.0f32; n_tokens * d];
+
+    let t0 = m.cycles();
+    gemm3_kernel(&mut m, n_tokens, d, n_tokens, &q, &kt, &mut scores);
+    let scale = 1.0 / (d as f32).sqrt();
+    let vr = VReg(0);
+    let mut x = 0;
+    while x < scores.len() {
+        let vl = m.vsetvl(scores.len() - x);
+        m.vle32(vr, &scores[x..]);
+        m.vfmul_vf(vr, scale, vr);
+        m.vse32(vr, &mut scores[x..]);
+        x += vl;
+    }
+    let t1 = m.cycles();
+    softmax_rows(&mut m, &mut scores, n_tokens);
+    let t2 = m.cycles();
+    gemm3_kernel(&mut m, n_tokens, n_tokens, d, &scores, &v, &mut out);
+    let t3 = m.cycles();
+    (t3 - t0, (t1 - t0) + (t3 - t2), t2 - t1)
+}
+
+fn main() {
+    println!("self-attention head on the simulated long-vector machine (thesis future work)\n");
+    println!("{:>8} {:>6} | {:>12} {:>8} {:>9} | VL scaling 512b->4096b", "tokens", "d", "cycles@512b", "gemm%", "softmax%");
+    for (n, d) in [(196usize, 64usize), (196, 128), (576, 64)] {
+        let (c512, g512, s512) = attention(MachineConfig::rvv_integrated(512, 4), n, d);
+        let (c4096, _, _) = attention(MachineConfig::rvv_integrated(4096, 4), n, d);
+        println!(
+            "{:>8} {:>6} | {:>12} {:>7.1}% {:>8.1}% | {:.2}x",
+            n,
+            d,
+            c512,
+            100.0 * g512 as f64 / c512 as f64,
+            100.0 * s512 as f64 / c512 as f64,
+            c512 as f64 / c4096 as f64,
+        );
+    }
+    // Contrast: a conv layer of comparable FLOPs scales better.
+    let s = lvconv::tensor::ConvShape::same_pad(64, 256, 56, 3, 1);
+    let c512 = lvconv::models::measure_layer(&MachineConfig::rvv_integrated(512, 4), &s, lvconv::conv::Algo::Direct)
+        .unwrap()
+        .cycles;
+    let c4096 = lvconv::models::measure_layer(&MachineConfig::rvv_integrated(4096, 4), &s, lvconv::conv::Algo::Direct)
+        .unwrap()
+        .cycles;
+    println!(
+        "\nreference conv (64->256 @56, Direct): VL scaling {:.2}x —\n\
+         attention's skinny d-dimension GEMMs and softmax passes blunt long-vector\n\
+         scaling, matching the thesis's motivation for data-reuse/fusion work on ViTs.",
+        c512 as f64 / c4096 as f64
+    );
+}

@@ -1,0 +1,40 @@
+//! A miniature co-design sweep: one VGG-16 layer across vector lengths and
+//! L2 sizes, printing which algorithm wins each design point — the essence
+//! of the paper's Figs. 3-8 on a laptop-friendly scale.
+//!
+//! ```text
+//! cargo run --release -p lvconv --example codesign_sweep [scale]
+//! ```
+
+use lvconv::conv::ALL_ALGOS;
+use lvconv::models::measure_layer;
+use lvconv::models::zoo;
+use lvconv::sim::MachineConfig;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    // VGG-16 layer 5 (128 -> 256 @ 56): a contested layer where Winograd,
+    // GEMM and Direct all win somewhere in the design space.
+    let shape = zoo::vgg16().conv_shapes()[4].scaled(scale);
+    println!("co-design sweep of VGG-16 layer 5 scaled by {scale}: {shape:?}\n");
+    println!("{:>10} | {:>6} | winner (cycles)", "vlen", "L2");
+    println!("{:->55}", "");
+    for vlen in [512usize, 1024, 2048, 4096] {
+        for l2 in [1usize, 4, 16, 64] {
+            let cfg = MachineConfig::rvv_integrated(vlen, l2);
+            let best = ALL_ALGOS
+                .iter()
+                .filter_map(|&a| measure_layer(&cfg, &shape, a).map(|m| (a, m.cycles)))
+                .min_by_key(|&(_, c)| c)
+                .expect("some algorithm applies");
+            println!("{:>9}b | {:>4}MB | {:22} ({})", vlen, l2, best.0.name(), best.1);
+        }
+    }
+    println!(
+        "\nThe winning algorithm moves across the design space: blocking pays off\n\
+         in tight caches, the 3-loop GEMM overtakes once its panels fit, and the\n\
+         Direct kernel wins once vectors are long enough — the co-design\n\
+         interactions of the paper's §4.2 (run `repro fig3`..`fig8` for all\n\
+         layers at full scale)."
+    );
+}

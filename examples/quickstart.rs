@@ -1,0 +1,59 @@
+//! Quickstart: simulate one convolutional layer with every algorithm on
+//! two hardware design points and print the comparison.
+//!
+//! ```text
+//! cargo run --release -p lvconv --example quickstart
+//! ```
+
+use lvconv::conv::{prepare_weights, run_conv, Algo, ALL_ALGOS};
+use lvconv::sim::{Machine, MachineConfig};
+use lvconv::tensor::{pseudo_buf, pseudo_weights, ConvShape};
+
+fn main() {
+    // A YOLOv3-like middle layer, spatially scaled down so the example
+    // finishes in a couple of seconds.
+    let shape = ConvShape::same_pad(64, 128, 76, 3, 1);
+    println!(
+        "layer: {}x{}x{} -> {}x{}x{}, {}x{} kernel, stride {}\n",
+        shape.ic, shape.ih, shape.iw, shape.oc, shape.oh(), shape.ow(),
+        shape.kh, shape.kw, shape.stride
+    );
+
+    let input = pseudo_buf(shape.input_len(), 1);
+    let weights = pseudo_weights(shape.weight_len(), shape.ic * 9, 2);
+
+    for (label, cfg) in [
+        ("512-bit vectors, 1 MiB L2 ", MachineConfig::rvv_integrated(512, 1)),
+        ("4096-bit vectors, 16 MiB L2", MachineConfig::rvv_integrated(4096, 16)),
+    ] {
+        println!("== {label} ==");
+        let mut best: Option<(Algo, u64)> = None;
+        for algo in ALL_ALGOS {
+            if !algo.applicable(&shape) {
+                continue;
+            }
+            let prepared = prepare_weights(algo, &shape, &weights);
+            let mut out = vec![0.0f32; shape.output_len()];
+            let mut m = Machine::new(cfg);
+            run_conv(&mut m, algo, &shape, &input, &prepared, &mut out);
+            let st = m.stats();
+            println!(
+                "  {:22} {:>12} cycles  ({:.3} ms @2GHz, avg VL {:6.1} elems, L2 miss {:4.1}%)",
+                algo.name(),
+                st.cycles,
+                st.cycles as f64 / 2e6,
+                st.avg_vl(),
+                100.0 * st.l2_miss_rate()
+            );
+            if best.map_or(true, |(_, c)| st.cycles < c) {
+                best = Some((algo, st.cycles));
+            }
+        }
+        let (algo, _) = best.unwrap();
+        println!("  -> fastest: {}\n", algo.name());
+    }
+    println!(
+        "The winner flips with the hardware parameters — exactly the co-design\n\
+         interaction the paper studies. See `repro all` for the full figures."
+    );
+}

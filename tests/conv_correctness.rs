@@ -1,0 +1,124 @@
+//! Cross-crate functional validation: every vectorized algorithm, on any
+//! machine configuration, must agree with the golden scalar convolution.
+//! Property-based: shapes, strides, kernels and vector lengths are drawn
+//! at random.
+
+use lvconv::conv::{prepare_weights, run_conv, Algo, ALL_ALGOS};
+use lvconv::sim::{Machine, MachineConfig, VpuStyle};
+use lvconv::tensor::{conv2d_reference, max_rel_error, pseudo_buf, ConvShape};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = ConvShape> {
+    (1usize..12, 1usize..20, prop_oneof![Just(1usize), Just(3)], 1usize..3, 6usize..26)
+        .prop_map(|(ic, oc, k, stride, hw)| ConvShape {
+            ic,
+            oc,
+            ih: hw,
+            iw: hw,
+            kh: k,
+            kw: k,
+            stride: if k == 1 { 1 } else { stride },
+            pad: k / 2,
+        })
+}
+
+fn check(algo: Algo, s: &ConvShape, vlen: usize, decoupled: bool) {
+    let input = pseudo_buf(s.input_len(), 3);
+    let w = pseudo_buf(s.weight_len(), 4);
+    let prepared = prepare_weights(algo, s, &w);
+    let mut out = vec![0.0f32; s.output_len()];
+    let cfg = if decoupled {
+        MachineConfig::rvv_decoupled(vlen, 1)
+    } else {
+        MachineConfig::rvv_integrated(vlen, 1)
+    };
+    let mut m = Machine::new(cfg);
+    run_conv(&mut m, algo, s, &input, &prepared, &mut out);
+    let want = conv2d_reference(s, &input, &w);
+    let tol = if algo == Algo::Winograd { 5e-2 } else { 1e-3 };
+    let err = max_rel_error(&out, &want);
+    assert!(err < tol, "{algo:?} err {err} on {s:?} vlen {vlen} dec {decoupled}");
+    assert!(m.cycles() > 0);
+    assert_eq!(m.config().vpu, cfg.vpu);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_algorithms_match_reference(
+        s in arb_shape(),
+        vlen_pow in 9u32..13, // 512..4096 bits
+        decoupled in any::<bool>(),
+    ) {
+        let vlen = 1usize << vlen_pow;
+        for algo in ALL_ALGOS {
+            if algo.applicable(&s) {
+                check(algo, &s, vlen, decoupled);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_handles_extreme_aspect_ratios(
+        ic in 1usize..6,
+        oc in prop_oneof![Just(1usize), Just(3), Just(40), Just(70)],
+        hw in 6usize..20,
+    ) {
+        let s = ConvShape::same_pad(ic, oc, hw, 3, 1);
+        check(Algo::Direct, &s, 512, false);
+        check(Algo::Direct, &s, 4096, false);
+    }
+}
+
+#[test]
+fn paper_layer_shapes_validate() {
+    // One representative layer from each regime of Table 1, scaled down.
+    for (s, algo) in [
+        (ConvShape::same_pad(3, 32, 38, 3, 1), Algo::Direct), // YOLO L1-like
+        (ConvShape::same_pad(32, 64, 38, 3, 2), Algo::Gemm3), // strided
+        (ConvShape::same_pad(64, 32, 19, 1, 1), Algo::Gemm6), // 1x1
+        (ConvShape::same_pad(32, 64, 19, 3, 1), Algo::Winograd), // 3x3 s1
+    ] {
+        check(algo, &s, 1024, false);
+    }
+}
+
+#[test]
+fn winograd_exact_on_smooth_kernel() {
+    // An all-ones kernel on an all-ones image: Winograd must reproduce the
+    // box-filter counts to float precision in the interior.
+    let s = ConvShape::same_pad(1, 1, 18, 3, 1);
+    let input = vec![1.0f32; s.input_len()];
+    let w = vec![1.0f32; 9];
+    let prepared = prepare_weights(Algo::Winograd, &s, &w);
+    let mut out = vec![0.0f32; s.output_len()];
+    let mut m = Machine::new(MachineConfig::default());
+    run_conv(&mut m, Algo::Winograd, &s, &input, &prepared, &mut out);
+    // Interior pixel sees 9 ones.
+    let mid = (s.oh() / 2) * s.ow() + s.ow() / 2;
+    assert!((out[mid] - 9.0).abs() < 1e-3, "got {}", out[mid]);
+    // Corner sees 4.
+    assert!((out[0] - 4.0).abs() < 1e-3, "got {}", out[0]);
+}
+
+#[test]
+fn decoupled_machine_reports_no_l1_vector_traffic() {
+    let s = ConvShape::same_pad(4, 8, 16, 3, 1);
+    let input = pseudo_buf(s.input_len(), 1);
+    let w = pseudo_buf(s.weight_len(), 2);
+    let prepared = prepare_weights(Algo::Gemm3, &s, &w);
+    let mut out = vec![0.0f32; s.output_len()];
+    let mut m = Machine::new(MachineConfig::rvv_decoupled(512, 1));
+    run_conv(&mut m, Algo::Gemm3, &s, &input, &prepared, &mut out);
+    let dec = m.stats();
+    assert_eq!(m.config().vpu, VpuStyle::Decoupled);
+    let mut m2 = Machine::new(MachineConfig::rvv_integrated(512, 1));
+    run_conv(&mut m2, Algo::Gemm3, &s, &input, &prepared, &mut out);
+    let int = m2.stats();
+    // Scalar A-broadcasts still go through L1 on both machines, but the
+    // vector traffic bypasses L1 only on the decoupled one: its L1 sees
+    // far fewer accesses while its L2 sees more.
+    assert!(dec.l1_accesses < int.l1_accesses, "dec L1 {} vs int L1 {}", dec.l1_accesses, int.l1_accesses);
+    assert!(dec.l2_accesses > int.l2_accesses, "dec L2 {} vs int L2 {}", dec.l2_accesses, int.l2_accesses);
+}
