@@ -88,11 +88,7 @@ pub struct DesignPoint {
 pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..points.len()).collect();
     idx.sort_by(|&a, &b| {
-        points[a]
-            .area
-            .partial_cmp(&points[b].area)
-            .unwrap()
-            .then(points[a].cost.partial_cmp(&points[b].cost).unwrap())
+        points[a].area.total_cmp(&points[b].area).then(points[a].cost.total_cmp(&points[b].cost))
     });
     let mut frontier = Vec::new();
     let mut best_cost = f64::INFINITY;
@@ -109,13 +105,9 @@ pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<usize> {
 /// `area * cost` (a simple energy-delay-style figure of merit the paper's
 /// "Pareto-optimal" marker corresponds to).
 pub fn pareto_knee(points: &[DesignPoint]) -> Option<usize> {
-    pareto_frontier(points)
-        .into_iter()
-        .min_by(|&a, &b| {
-            (points[a].area * points[a].cost)
-                .partial_cmp(&(points[b].area * points[b].cost))
-                .unwrap()
-        })
+    pareto_frontier(points).into_iter().min_by(|&a, &b| {
+        (points[a].area * points[a].cost).total_cmp(&(points[b].area * points[b].cost))
+    })
 }
 
 #[cfg(test)]

@@ -77,10 +77,8 @@ fn bench_fig5_8_cache_scaling(c: &mut Criterion) {
 /// cross-validation (the selector pipeline).
 fn bench_selector_train_predict(c: &mut Criterion) {
     // Build a small grid once; bench the ML pipeline on it.
-    let pts: Vec<SimPoint> = paper2_points(0.06)
-        .into_iter()
-        .filter(|p| p.model == "vgg16" && p.layer <= 6)
-        .collect();
+    let pts: Vec<SimPoint> =
+        paper2_points(0.06).into_iter().filter(|p| p.model == "vgg16" && p.layer <= 6).collect();
     let rows = run_points(pts, false);
     let mut g = c.benchmark_group("selector_pipeline");
     g.sample_size(10);

@@ -8,8 +8,12 @@
 //! repro p1grid         # (re)compute the Paper I sweeps
 //! ```
 //! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
-//! selector fig9 fig10 fig11 fig12 p1-blocks p1-vl p1-cache p1-lanes
+//! selector fig9 fig10 fig11 fig12 serve p1-blocks p1-vl p1-cache p1-lanes
 //! p1-winograd p1-pareto p1-naive
+//!
+//! `serve` runs the saturation sweep of the serving engine (bounded
+//! queue, dynamic batching, selector-driven service times) and writes
+//! `results/serve.txt` / `results/serve.csv`.
 
 use lv_bench::grid;
 
@@ -26,7 +30,11 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = args[i + 1].parse().expect("bad --scale");
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--scale requires a positive number");
+                    std::process::exit(2);
+                };
+                scale = v;
                 i += 2;
             }
             "--force" => {

@@ -30,7 +30,7 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
     let report = match id {
         "table1" => table1_report(scale),
         "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "dataset"
-        | "selector" | "fig9" | "fig10" | "fig11" | "fig12" => {
+        | "selector" | "fig9" | "fig10" | "fig11" | "fig12" | "serve" => {
             let rows = ensure_grid("grid", scale, force, true);
             match id {
                 "fig1" => fig1_2(&rows, "vgg16", "fig1"),
@@ -47,6 +47,7 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
                 "fig10" => fig9_10(&rows, "yolov3-20", "fig10"),
                 "fig11" => fig11(&rows),
                 "fig12" => fig12(&rows),
+                "serve" => crate::serving::serve_report(&rows),
                 _ => unreachable!(),
             }
         }
@@ -76,7 +77,7 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
         "all" => {
             for e in [
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                "dataset", "selector", "fig9", "fig10", "fig11", "fig12",
+                "dataset", "selector", "fig9", "fig10", "fig11", "fig12", "serve",
             ] {
                 run_experiment(e, scale, false);
             }
@@ -84,8 +85,14 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
         }
         "p1-all" => {
             for e in [
-                "p1-vl", "p1-cache", "p1-lanes", "p1-winograd", "p1-pareto", "p1-blocks",
-                "p1-naive", "p1-roofline",
+                "p1-vl",
+                "p1-cache",
+                "p1-lanes",
+                "p1-winograd",
+                "p1-pareto",
+                "p1-blocks",
+                "p1-naive",
+                "p1-roofline",
             ] {
                 run_experiment(e, scale, false);
             }
@@ -93,7 +100,10 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
         }
         "ablations" => {
             for e in [
-                "ablation-tiles", "ablation-energy", "ablation-fft", "ablation-unroll",
+                "ablation-tiles",
+                "ablation-energy",
+                "ablation-fft",
+                "ablation-unroll",
                 "ablation-contention",
             ] {
                 run_experiment(e, scale, false);
@@ -151,7 +161,7 @@ fn fig1_2(rows: &[GridRow], model: &str, id: &str) -> String {
             if let Some(r) = grid::find(rows, model, layer, 512, 1, a) {
                 bars.push((a.name().to_string(), secs(r.cycles)));
                 let _ = writeln!(csv, "{layer},{},{:.6}", a.name(), secs(r.cycles));
-                if best.map_or(true, |(_, c)| r.cycles < c) {
+                if best.is_none_or(|(_, c)| r.cycles < c) {
                     best = Some((a, r.cycles));
                 }
             }
@@ -196,7 +206,8 @@ fn fig3_4(rows: &[GridRow], model: &str, id: &str) -> String {
                 if let Some(r) = grid::find(rows, model, layer, vl, 1, a) {
                     let sp = base as f64 / r.cycles as f64;
                     cells.push(format!("{sp:.2}x"));
-                    let _ = writeln!(csv, "{layer},{},{vl},{:.6},{sp:.3}", a.name(), secs(r.cycles));
+                    let _ =
+                        writeln!(csv, "{layer},{},{vl},{:.6},{sp:.3}", a.name(), secs(r.cycles));
                 } else {
                     cells.push("-".into());
                 }
@@ -301,7 +312,8 @@ fn selector_eval(rows: &[GridRow]) -> SelectorEval {
 
 fn selector_report(rows: &[GridRow]) -> String {
     let eval = selector_eval(rows);
-    let mut out = String::from("selector: random-forest per-layer algorithm selection (Paper II 4.3)\n\n");
+    let mut out =
+        String::from("selector: random-forest per-layer algorithm selection (Paper II 4.3)\n\n");
     let _ = writeln!(
         out,
         "5-fold CV accuracy: mean {:.1}%  (folds: {})",
@@ -325,7 +337,7 @@ fn selector_report(rows: &[GridRow]) -> String {
     }
     out.push_str("\nfeature importances (mean decrease in impurity):\n");
     let mut imp = eval.importances.clone();
-    imp.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    imp.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (name, v) in imp {
         let _ = writeln!(out, "  {name:12} {v:.3}");
     }
@@ -336,11 +348,8 @@ fn selector_report(rows: &[GridRow]) -> String {
 
 fn fig9_10(rows: &[GridRow], model: &str, id: &str) -> String {
     let eval = selector_eval(rows);
-    let layers: Vec<usize> = table1_layers(1.0)
-        .into_iter()
-        .filter(|(m, _, _)| m == model)
-        .map(|(_, l, _)| l)
-        .collect();
+    let layers: Vec<usize> =
+        table1_layers(1.0).into_iter().filter(|(m, _, _)| m == model).map(|(_, l, _)| l).collect();
     let policies: Vec<(String, Option<Algo>)> = vec![
         ("Direct".into(), Some(Algo::Direct)),
         ("im2col+GEMM-3loops".into(), Some(Algo::Gemm3)),
@@ -395,8 +404,15 @@ fn fig9_10(rows: &[GridRow], model: &str, id: &str) -> String {
         }
     }
     let header = [
-        "config", "Direct", "GEMM-3l", "GEMM-6l", "Winograd*", "Optimal", "Predicted",
-        "best-single/opt", "pred-err",
+        "config",
+        "Direct",
+        "GEMM-3l",
+        "GEMM-6l",
+        "Winograd*",
+        "Optimal",
+        "Predicted",
+        "best-single/opt",
+        "pred-err",
     ];
     out = format!(
         "{}{}",
@@ -445,7 +461,12 @@ fn fig11(rows: &[GridRow]) -> String {
     let mut pts = Vec::new();
     let mut policies: Vec<(String, Option<Algo>)> = ALL_ALGOS
         .iter()
-        .map(|&a| (if a == Algo::Winograd { "Winograd*".to_string() } else { a.name().to_string() }, Some(a)))
+        .map(|&a| {
+            (
+                if a == Algo::Winograd { "Winograd*".to_string() } else { a.name().to_string() },
+                Some(a),
+            )
+        })
         .collect();
     policies.push(("Optimal".into(), None));
     for &vlen in &P2_VLENS {
@@ -484,14 +505,8 @@ fn fig11(rows: &[GridRow]) -> String {
     );
     let mut csv = String::from("label,area_mm2,cycles,on_frontier\n");
     for (i, p) in pts.iter().enumerate() {
-        let _ = writeln!(
-            csv,
-            "{},{:.3},{},{}",
-            p.label,
-            p.area,
-            p.cost as u64,
-            frontier.contains(&i)
-        );
+        let _ =
+            writeln!(csv, "{},{:.3},{},{}", p.label, p.area, p.cost as u64, frontier.contains(&i));
     }
     out.push_str("Pareto frontier (area ascending):\n");
     for &i in &frontier {
@@ -531,7 +546,9 @@ fn fig12(rows: &[GridRow]) -> String {
     );
     let mut pts = Vec::new();
     let mut meta = Vec::new();
-    let mut csv = String::from("cores,vlen_bits,shared_l2_mib,replicas,l2_per_model_mib,images_per_cycle,area_mm2\n");
+    let mut csv = String::from(
+        "cores,vlen_bits,shared_l2_mib,replicas,l2_per_model_mib,images_per_cycle,area_mm2\n",
+    );
     for &cores in &[1usize, 4, 16, 64] {
         for &vlen in &P2_VLENS {
             for &shared_l2 in &[1usize, 4, 16, 64, 256] {
@@ -545,10 +562,8 @@ fn fig12(rows: &[GridRow]) -> String {
                 }
                 let tput = colocated_throughput(cores, cycles);
                 let area = chip_area_mm2(cores, vlen, shared_l2);
-                let _ = writeln!(
-                    csv,
-                    "{cores},{vlen},{shared_l2},{cores},{part},{tput:.3e},{area:.2}"
-                );
+                let _ =
+                    writeln!(csv, "{cores},{vlen},{shared_l2},{cores},{part},{tput:.3e},{area:.2}");
                 pts.push(DesignPoint {
                     label: format!("{cores}c x {vlen}b, {shared_l2}MB shared ({part}MB/model)"),
                     area,
@@ -574,10 +589,8 @@ fn fig12(rows: &[GridRow]) -> String {
     // Paper claim: frontier points co-locate as many models as possible
     // with the smallest viable partition.
     let max_cores = meta.iter().map(|&(c, _, _)| c).max().unwrap_or(1);
-    let frontier_max_replicas: Vec<bool> = frontier
-        .iter()
-        .map(|&i| meta[i].0 == max_cores || meta[i].1 <= 4)
-        .collect();
+    let frontier_max_replicas: Vec<bool> =
+        frontier.iter().map(|&i| meta[i].0 == max_cores || meta[i].1 <= 4).collect();
     let _ = writeln!(
         out,
         "\nfrontier points co-locating max replicas or a small (<=4MB) partition: {}/{}\n\
@@ -592,14 +605,20 @@ fn fig12(rows: &[GridRow]) -> String {
 
 // ------------------------------------------------------ Paper I extras
 
-fn p1_model_total(rows: &[GridRow], model: &str, vlen: usize, l2: usize, lanes: Option<usize>) -> Option<u64> {
+fn p1_model_total(
+    rows: &[GridRow],
+    model: &str,
+    vlen: usize,
+    l2: usize,
+    lanes: Option<usize>,
+) -> Option<u64> {
     let sel: Vec<&GridRow> = rows
         .iter()
         .filter(|r| {
             r.model == model
                 && r.vlen_bits == vlen
                 && r.l2_mib == l2
-                && lanes.map_or(true, |n| r.lanes == n)
+                && lanes.is_none_or(|n| r.lanes == n)
         })
         .collect();
     if sel.is_empty() {
@@ -730,10 +749,16 @@ fn p1_winograd(rows: &[GridRow]) -> String {
         if let (Some(b), Some(c)) =
             (p1_model_total(rows, model, 512, 1, None), p1_model_total(rows, model, 2048, 1, None))
         {
-            let _ = writeln!(out, "  512b -> 2048b at 1MB: {:.2}x (paper: ~1.4x)\n", b as f64 / c as f64);
+            let _ = writeln!(
+                out,
+                "  512b -> 2048b at 1MB: {:.2}x (paper: ~1.4x)\n",
+                b as f64 / c as f64
+            );
         }
     }
-    out.push_str("(paper: VGG16 stops benefiting past 64MB; YOLOv3 gains ~1.75x, VGG16 ~1.4x from cache)\n");
+    out.push_str(
+        "(paper: VGG16 stops benefiting past 64MB; YOLOv3 gains ~1.75x, VGG16 ~1.4x from cache)\n",
+    );
     out
 }
 
@@ -784,10 +809,8 @@ fn p1_blocks(scale: f64) -> String {
     use lv_tensor::{pseudo_buf, pseudo_weights};
     // Paper I Table II: first 4 conv layers of YOLOv3 on the decoupled
     // machine, 6-loop GEMM across block sizes vs the 3-loop baseline.
-    let layers: Vec<_> = table1_layers(scale)
-        .into_iter()
-        .filter(|(m, l, _)| m == "yolov3-20" && *l <= 4)
-        .collect();
+    let layers: Vec<_> =
+        table1_layers(scale).into_iter().filter(|(m, l, _)| m == "yolov3-20" && *l <= 4).collect();
     let run_3loop = || -> u64 {
         layers
             .iter()
@@ -825,10 +848,7 @@ fn p1_blocks(scale: f64) -> String {
                 m.cycles()
             })
             .sum();
-        trows.push(vec![
-            format!("{mc}x{nc}x{kc}"),
-            format!("{:.2}", base as f64 / total as f64),
-        ]);
+        trows.push(vec![format!("{mc}x{nc}x{kc}"), format!("{:.2}", base as f64 / total as f64)]);
     }
     let mut out = format!(
         "p1-blocks: 6-loop GEMM block-size sweep vs 3-loop baseline, YOLOv3 first 4 conv layers,\n\
@@ -988,8 +1008,8 @@ fn ablation_tiles(scale: f64) -> String {
 /// Ablation: energy and energy-delay across design points, extending the
 /// Fig. 11 Pareto analysis with the energy model.
 fn ablation_energy(rows: &[GridRow], scale: f64) -> String {
-    use lv_area::energy::{energy_of, EnergyParams};
     use lv_area::chip_area_mm2;
+    use lv_area::energy::{energy_of, EnergyParams};
     use lv_models::measure_layer;
     use lv_sim::MachineConfig;
     let p = EnergyParams::default();
@@ -1020,7 +1040,7 @@ fn ablation_energy(rows: &[GridRow], scale: f64) -> String {
                 format!("{:.1}%", 100.0 * e.leakage_j / e.total_j()),
                 format!("{:.3e}", edp),
             ]);
-            if best.as_ref().map_or(true, |(_, b)| edp < *b) {
+            if best.as_ref().is_none_or(|(_, b)| edp < *b) {
                 best = Some((format!("{vlen}b x {l2}MB"), edp));
             }
         }

@@ -168,8 +168,7 @@ pub fn paper1_points(scale: f64) -> Vec<SimPoint> {
     for (model, layer, shape) in table1_layers(scale) {
         for &vlen in &[512usize, 1024, 2048] {
             for &l2 in &P1_L2S {
-                let algo =
-                    if shape.winograd_applicable() { Algo::Winograd } else { Algo::Gemm6 };
+                let algo = if shape.winograd_applicable() { Algo::Winograd } else { Algo::Gemm6 };
                 pts.push(SimPoint {
                     model: format!("{model}/wino"),
                     layer,
@@ -200,8 +199,23 @@ pub fn to_csv(rows: &[GridRow]) -> String {
         };
         s.push_str(&format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.6}\n",
-            r.model, r.layer, sh.ic, sh.ih, sh.iw, sh.oc, sh.kh, sh.kw, sh.stride, sh.pad,
-            vpu, r.lanes, r.vlen_bits, r.l2_mib, r.algo.name(), r.cycles, r.avg_vl,
+            r.model,
+            r.layer,
+            sh.ic,
+            sh.ih,
+            sh.iw,
+            sh.oc,
+            sh.kh,
+            sh.kw,
+            sh.stride,
+            sh.pad,
+            vpu,
+            r.lanes,
+            r.vlen_bits,
+            r.l2_mib,
+            r.algo.name(),
+            r.cycles,
+            r.avg_vl,
             r.l2_miss_rate
         ));
     }
@@ -296,7 +310,11 @@ pub fn ensure_grid(name: &str, scale: f64, force: bool, verbose: bool) -> Vec<Gr
     if !force {
         if let Some(rows) = load_grid(name, scale) {
             if verbose {
-                eprintln!("loaded {} cached rows from {}", rows.len(), grid_path(name, scale).display());
+                eprintln!(
+                    "loaded {} cached rows from {}",
+                    rows.len(),
+                    grid_path(name, scale).display()
+                );
             }
             return rows;
         }
@@ -327,7 +345,11 @@ pub fn find<'a>(
     algo: Algo,
 ) -> Option<&'a GridRow> {
     rows.iter().find(|r| {
-        r.model == model && r.layer == layer && r.vlen_bits == vlen && r.l2_mib == l2 && r.algo == algo
+        r.model == model
+            && r.layer == layer
+            && r.vlen_bits == vlen
+            && r.l2_mib == l2
+            && r.algo == algo
     })
 }
 

@@ -16,4 +16,5 @@ pub mod chart;
 pub mod figures;
 pub mod grid;
 pub mod selector;
+pub mod serving;
 pub mod verify;

@@ -5,7 +5,9 @@
 use std::collections::HashMap;
 
 use lv_conv::{Algo, ALL_ALGOS};
-use lv_forest::{baseline_accuracies, cross_validate, CvReport, Dataset, ForestParams, RandomForest};
+use lv_forest::{
+    baseline_accuracies, cross_validate, CvReport, Dataset, ForestParams, RandomForest,
+};
 use lv_tensor::ConvShape;
 use serde::{Deserialize, Serialize};
 
@@ -21,9 +23,8 @@ pub fn tuned_params() -> ForestParams {
 
 /// The 12 features the paper feeds the classifier: 2 hardware + 10 layer
 /// dimensions.
-pub const FEATURE_NAMES: [&str; 12] = [
-    "vlen_bits", "l2_mib", "ic", "ih", "iw", "stride", "pad", "oc", "oh", "ow", "kh", "kw",
-];
+pub const FEATURE_NAMES: [&str; 12] =
+    ["vlen_bits", "l2_mib", "ic", "ih", "iw", "stride", "pad", "oc", "oh", "ow", "kh", "kw"];
 
 /// Feature vector for a (layer, hardware config) pair.
 pub fn features_of(s: &ConvShape, vlen_bits: usize, l2_mib: usize) -> Vec<f64> {
@@ -136,18 +137,12 @@ pub fn evaluate_selector(rows: &[GridRow], params: ForestParams) -> SelectorEval
             errs.push((g as f64 - b as f64).abs() / b as f64);
         }
     }
-    let mispredict_mape = if errs.is_empty() {
-        0.0
-    } else {
-        100.0 * errs.iter().sum::<f64>() / errs.len() as f64
-    };
+    let mispredict_mape =
+        if errs.is_empty() { 0.0 } else { 100.0 * errs.iter().sum::<f64>() / errs.len() as f64 };
     // Importances from a forest on the full data.
     let forest = RandomForest::fit(&ds, params);
-    let importances = FEATURE_NAMES
-        .iter()
-        .map(|s| s.to_string())
-        .zip(forest.feature_importances())
-        .collect();
+    let importances =
+        FEATURE_NAMES.iter().map(|s| s.to_string()).zip(forest.feature_importances()).collect();
     // Baselines on the first CV fold's split.
     let folds = lv_forest::stratified_kfold(&ds.labels, 5, params.seed);
     let baselines = baseline_accuracies(&ds, &folds[0].0, &folds[0].1);
@@ -177,12 +172,10 @@ mod tests {
     /// A small synthetic grid good enough to exercise the plumbing.
     fn mini_grid() -> Vec<GridRow> {
         let mut pts = Vec::new();
-        for (layer, shape) in [
-            ConvShape::same_pad(3, 16, 24, 3, 1),
-            ConvShape::same_pad(16, 8, 12, 1, 1),
-        ]
-        .into_iter()
-        .enumerate()
+        for (layer, shape) in
+            [ConvShape::same_pad(3, 16, 24, 3, 1), ConvShape::same_pad(16, 8, 12, 1, 1)]
+                .into_iter()
+                .enumerate()
         {
             for vlen in P2_VLENS {
                 for l2 in [1usize, 4] {

@@ -86,12 +86,12 @@ pub fn verify(scale: f64) -> Vec<Claim> {
             detail: format!("VGG-16 layer 2 winner = {:?} (paper: Winograd)", vgg_l2),
             verdict: if vgg_l2 == Some(Algo::Winograd) { Verdict::Pass } else { Verdict::Fail },
         });
-        let skinny_gemm6 = (11..=13)
-            .filter(|&l| winner("vgg16", l) == Some(Algo::Gemm6))
-            .count();
+        let skinny_gemm6 = (11..=13).filter(|&l| winner("vgg16", l) == Some(Algo::Gemm6)).count();
         claims.push(Claim {
             id: "fig1.gemm6-wins-skinny",
-            detail: format!("6-loop GEMM wins {skinny_gemm6}/3 of VGG L11-13 (paper: all skinny layers)"),
+            detail: format!(
+                "6-loop GEMM wins {skinny_gemm6}/3 of VGG L11-13 (paper: all skinny layers)"
+            ),
             verdict: if skinny_gemm6 == 3 {
                 Verdict::Pass
             } else if skinny_gemm6 > 0 {
@@ -124,7 +124,9 @@ pub fn verify(scale: f64) -> Vec<Claim> {
         });
         claims.push(Claim {
             id: "fig3.direct-out-scales-winograd",
-            detail: format!("max Direct speedup {d:.2}x > Winograd {w:.2}x (paper: Direct scales most)"),
+            detail: format!(
+                "max Direct speedup {d:.2}x > Winograd {w:.2}x (paper: Direct scales most)"
+            ),
             verdict: if d > w { Verdict::Pass } else { Verdict::Fail },
         });
     }
@@ -168,17 +170,15 @@ pub fn verify(scale: f64) -> Vec<Claim> {
         });
         claims.push(Claim {
             id: "selector.mispredict-cost",
-            detail: format!(
-                "misprediction MAPE {:.1}% (paper: 20.4%)",
-                eval.mispredict_mape
-            ),
+            detail: format!("misprediction MAPE {:.1}% (paper: 20.4%)", eval.mispredict_mape),
             verdict: band(eval.mispredict_mape, (2.0, 30.0), true),
         });
     }
 
     // ---- Fig 9/10: per-layer selection beats uniform policies.
     {
-        for (model, id) in [("vgg16", "fig9.selection-pays"), ("yolov3-20", "fig10.selection-pays")] {
+        for (model, id) in [("vgg16", "fig9.selection-pays"), ("yolov3-20", "fig10.selection-pays")]
+        {
             let mut max_gain: f64 = 0.0;
             for &vlen in &P2_VLENS {
                 for &l2 in &P2_L2S {
@@ -207,9 +207,11 @@ pub fn verify(scale: f64) -> Vec<Claim> {
         let mut pts = Vec::new();
         for &vlen in &P2_VLENS {
             for &l2 in &P2_L2S {
-                for (pol, name) in
-                    [(None, "Optimal"), (Some(Algo::Direct), "Direct"), (Some(Algo::Gemm6), "Gemm6")]
-                {
+                for (pol, name) in [
+                    (None, "Optimal"),
+                    (Some(Algo::Direct), "Direct"),
+                    (Some(Algo::Gemm6), "Gemm6"),
+                ] {
                     pts.push(DesignPoint {
                         label: format!("{vlen}|{l2}|{name}"),
                         area: chip_area_mm2(1, vlen, l2),

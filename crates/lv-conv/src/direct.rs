@@ -78,7 +78,14 @@ fn nchw_to_padded_nhwc(
 }
 
 /// Convert an NHWC buffer back to NCHW on the vector unit (strided loads).
-fn nhwc_to_nchw_charged(m: &mut Machine, c: usize, h: usize, w: usize, src: &[f32], dst: &mut [f32]) {
+fn nhwc_to_nchw_charged(
+    m: &mut Machine,
+    c: usize,
+    h: usize,
+    w: usize,
+    src: &[f32],
+    dst: &mut [f32],
+) {
     if c == 1 {
         let mut i = 0;
         while i < h * w {
@@ -290,8 +297,7 @@ fn optimized(m: &mut Machine, s: &ConvShape, x: &[f32], pw: usize, w: &[f32], ou
                         m.vload_seg(V_W, &w[wb..], s.oc, 0, t);
                         for u in 0..UB {
                             let px = ox + u * t;
-                            let base =
-                                ((oy * s.stride + ky) * pw + px * s.stride + kx) * s.ic + ic;
+                            let base = ((oy * s.stride + ky) * pw + px * s.stride + kx) * s.ic + ic;
                             m.vgather_repeat(VReg(8 + u as u8), &x[base..], pix_stride, s.oc);
                             m.vfmacc_vv(VReg(u as u8), VReg(8 + u as u8), V_W);
                         }
@@ -329,7 +335,14 @@ fn optimized(m: &mut Machine, s: &ConvShape, x: &[f32], pw: usize, w: &[f32], ou
 
 /// Wide-layer path: vector across an output-channel block, UB pixels
 /// unrolled so each weight vector is reused UB times.
-fn channel_blocked(m: &mut Machine, s: &ConvShape, x: &[f32], pw: usize, w: &[f32], out: &mut [f32]) {
+fn channel_blocked(
+    m: &mut Machine,
+    s: &ConvShape,
+    x: &[f32],
+    pw: usize,
+    w: &[f32],
+    out: &mut [f32],
+) {
     let (oh, ow) = (s.oh(), s.ow());
     for oy in 0..oh {
         let mut oc0 = 0;
@@ -347,9 +360,7 @@ fn channel_blocked(m: &mut Machine, s: &ConvShape, x: &[f32], pw: usize, w: &[f3
                             let wb = ((ky * s.kw + kx) * s.ic + ic) * s.oc + oc0;
                             m.vle32(V_W, &w[wb..]);
                             for u in 0..ub {
-                                let pix = ((oy * s.stride + ky) * pw
-                                    + (ox + u) * s.stride
-                                    + kx)
+                                let pix = ((oy * s.stride + ky) * pw + (ox + u) * s.stride + kx)
                                     * s.ic
                                     + ic;
                                 let xv = m.scalar_load_hidden(x, pix);
@@ -384,10 +395,7 @@ mod tests {
         let mut m = Machine::new(MachineConfig::rvv_integrated(vlen, 1));
         run(&mut m, &s, &input, &prepared.data, &mut out, variant);
         let want = conv2d_reference(&s, &input, &w);
-        assert!(
-            max_rel_error(&out, &want) < 1e-3,
-            "mismatch for {s:?} vlen {vlen} {variant:?}"
-        );
+        assert!(max_rel_error(&out, &want) < 1e-3, "mismatch for {s:?} vlen {vlen} {variant:?}");
     }
 
     #[test]

@@ -228,7 +228,14 @@ fn transpose_plane(m: &mut Machine, src: &[f32], dst: &mut [f32], p: usize) {
 }
 
 /// In-place-ish 2-D FFT: column FFT, transpose, column FFT, transpose back.
-fn fft2d(m: &mut Machine, re: &mut [f32], im: &mut [f32], scratch: &mut [f32], p: usize, invert: bool) {
+fn fft2d(
+    m: &mut Machine,
+    re: &mut [f32],
+    im: &mut [f32],
+    scratch: &mut [f32],
+    p: usize,
+    invert: bool,
+) {
     fft_cols(m, re, im, p, invert);
     transpose_plane(m, re, scratch, p);
     re.copy_from_slice(scratch);

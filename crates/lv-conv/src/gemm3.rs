@@ -124,8 +124,7 @@ pub fn run_naive_scalar(
                         let iy = (oy * s.stride + ky) as isize - s.pad as isize;
                         let ix = (ox * s.stride + kx) as isize - s.pad as isize;
                         m.scalar_ops(3); // index math + bounds test
-                        let v = if iy < 0 || ix < 0 || iy >= s.ih as isize || ix >= s.iw as isize
-                        {
+                        let v = if iy < 0 || ix < 0 || iy >= s.ih as isize || ix >= s.iw as isize {
                             0.0
                         } else {
                             m.scalar_load(input, (ic * s.ih + iy as usize) * s.iw + ix as usize)

@@ -157,8 +157,11 @@ mod tests {
         let a = pseudo_buf(mm * kk, 1);
         let b = pseudo_buf(kk * nn, 2);
         let want = gemm_reference(mm, kk, nn, &a, &b);
-        for blk in [Gemm6Blocking::paper(), Gemm6Blocking::new(8, 64, 32), Gemm6Blocking::new(16, 100, 128)]
-        {
+        for blk in [
+            Gemm6Blocking::paper(),
+            Gemm6Blocking::new(8, 64, 32),
+            Gemm6Blocking::new(16, 100, 128),
+        ] {
             let mut c = vec![0.0f32; mm * nn];
             let mut m = Machine::new(MachineConfig::rvv_integrated(512, 1));
             gemm6_kernel(&mut m, mm, kk, nn, &a, &b, &mut c, &blk);

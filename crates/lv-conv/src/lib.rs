@@ -41,6 +41,6 @@ pub mod winograd;
 pub mod winograd_small;
 
 pub use algo::{prepare_weights, run_conv, run_conv_batch, Algo, PreparedWeights, ALL_ALGOS};
-pub use gemm3::gemm3_kernel_unrolled;
 pub use direct::DirectVariant;
+pub use gemm3::gemm3_kernel_unrolled;
 pub use gemm6::Gemm6Blocking;

@@ -49,12 +49,8 @@ impl WinoPlan {
             vec![0.5, -0.5, 0.5],
             vec![0.0, 0.0, 1.0],
         ];
-        let at = vec![
-            vec![1.0, 1.0, 1.0, 0.0],
-            vec![0.0, 1.0, -1.0, -1.0],
-            vec![0.0; 4],
-            vec![0.0; 4],
-        ];
+        let at =
+            vec![vec![1.0, 1.0, 1.0, 0.0], vec![0.0, 1.0, -1.0, -1.0], vec![0.0; 4], vec![0.0; 4]];
         Self { m: 2, t: 4, bt, g, at }
     }
 
@@ -149,7 +145,14 @@ fn apply_rows(m: &mut Machine, c: &[Vec<f32>], src: &[VReg], dst: &[VReg]) {
 
 /// Run the plan's Winograd convolution (NCHW in/out, weights from
 /// [`transform_weights`] with the same plan).
-pub fn run(plan: &WinoPlan, m: &mut Machine, s: &ConvShape, input: &[f32], w_t: &[f32], output: &mut [f32]) {
+pub fn run(
+    plan: &WinoPlan,
+    m: &mut Machine,
+    s: &ConvShape,
+    input: &[f32],
+    w_t: &[f32],
+    output: &mut [f32],
+) {
     assert!(s.winograd_applicable());
     let (t, mo) = (plan.t, plan.m);
     let tuple = plan.tuple();

@@ -57,7 +57,7 @@ impl Knn {
             .zip(&self.y)
             .map(|(t, &l)| (t.iter().zip(&rn).map(|(a, b)| (a - b).powi(2)).sum::<f64>(), l))
             .collect();
-        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        dist.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut votes = vec![0usize; self.n_classes];
         for (_, l) in dist.iter().take(self.k) {
             votes[*l] += 1;
@@ -118,7 +118,7 @@ impl GaussianNb {
                     .sum();
                 (c, self.prior[c].ln() + ll)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
             .unwrap_or(0)
     }
@@ -129,8 +129,7 @@ impl GaussianNb {
 pub fn baseline_accuracies(ds: &Dataset, train: &[usize], test: &[usize]) -> Vec<(String, f64)> {
     let (tx, ty) = ds.subset(train);
     let eval = |pred: &dyn Fn(&[f64]) -> usize| -> f64 {
-        let correct =
-            test.iter().filter(|&&i| pred(&ds.features[i]) == ds.labels[i]).count();
+        let correct = test.iter().filter(|&&i| pred(&ds.features[i]) == ds.labels[i]).count();
         correct as f64 / test.len() as f64
     };
     let knn = Knn::fit(&tx, &ty, ds.n_classes, 5);
@@ -138,7 +137,8 @@ pub fn baseline_accuracies(ds: &Dataset, train: &[usize], test: &[usize]) -> Vec
     let mut rng = StdRng::seed_from_u64(3);
     let tree = DecisionTree::fit(&tx, &ty, ds.n_classes, TreeParams::default(), &mut rng);
     let mlp = crate::mlp::Mlp::fit(&tx, &ty, ds.n_classes, crate::mlp::MlpParams::default());
-    let gb = crate::gboost::Gboost::fit(&tx, &ty, ds.n_classes, crate::gboost::GboostParams::default());
+    let gb =
+        crate::gboost::Gboost::fit(&tx, &ty, ds.n_classes, crate::gboost::GboostParams::default());
     vec![
         ("knn(5)".to_string(), eval(&|r| knn.predict(r))),
         ("gaussian-nb".to_string(), eval(&|r| nb.predict(r))),

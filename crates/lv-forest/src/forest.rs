@@ -95,6 +95,18 @@ impl RandomForest {
         votes
     }
 
+    /// Majority-vote predictions for many rows. Serving-style callers
+    /// train once and classify every (layer, hardware-config) point in one
+    /// pass instead of re-fitting per query.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The hyperparameters this forest was fitted with.
+    pub fn params(&self) -> ForestParams {
+        self.params
+    }
+
     /// Accuracy on labeled rows.
     pub fn accuracy(&self, x: &[Vec<f64>], y: &[usize]) -> f64 {
         let correct = x.iter().zip(y).filter(|(r, &l)| self.predict(r) == l).count();
@@ -212,6 +224,19 @@ mod tests {
         let imp = f.feature_importances();
         assert_eq!(imp.len(), 2);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_prediction_matches_single() {
+        let ds = blob_dataset(90);
+        let p = ForestParams { n_trees: 10, seed: 3, ..Default::default() };
+        let f = RandomForest::fit(&ds, p);
+        let batch = f.predict_batch(&ds.features);
+        for (row, &b) in ds.features.iter().zip(&batch) {
+            assert_eq!(f.predict(row), b);
+        }
+        assert_eq!(f.params().n_trees, 10);
+        assert_eq!(f.params().seed, 3);
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl RegTree {
         let mut best: Option<(usize, f64, f64)> = None; // feat, thresh, sse
         let mut order = idx.to_vec();
         for f in 0..d {
-            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
+            order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
             let total: f64 = order.iter().map(|&i| r[i]).sum();
             let mut lsum = 0.0;
             for split in 1..order.len() {
@@ -65,7 +65,7 @@ impl RegTree {
                 let rsum = total - lsum;
                 // Maximize variance reduction = minimize -(L^2/nl + R^2/nr).
                 let score = -(lsum * lsum / nl + rsum * rsum / nr);
-                if best.map_or(true, |(_, _, s)| score < s) {
+                if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((f, (va + vb) / 2.0, score));
                 }
             }
@@ -116,8 +116,7 @@ impl Gboost {
         let mut per_class = Vec::with_capacity(n_classes);
         let mut base = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
-            let targets: Vec<f64> =
-                y.iter().map(|&l| if l == c { 1.0 } else { 0.0 }).collect();
+            let targets: Vec<f64> = y.iter().map(|&l| if l == c { 1.0 } else { 0.0 }).collect();
             let prior = targets.iter().sum::<f64>() / n as f64;
             let b0 = ((prior + 1e-6) / (1.0 - prior + 1e-6)).ln();
             let mut score = vec![b0; n];
@@ -150,7 +149,7 @@ impl Gboost {
                 b + self.shrinkage * trees.iter().map(|t| t.predict(row)).sum::<f64>()
             })
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
             .unwrap_or(0)
     }

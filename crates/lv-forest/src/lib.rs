@@ -18,8 +18,8 @@ mod mlp;
 mod tree;
 
 pub use baselines::{baseline_accuracies, GaussianNb, Knn};
-pub use gboost::{Gboost, GboostParams};
-pub use mlp::{Mlp, MlpParams};
 pub use dataset::{stratified_kfold, Dataset};
 pub use forest::{cross_validate, CvReport, ForestParams, RandomForest};
+pub use gboost::{Gboost, GboostParams};
+pub use mlp::{Mlp, MlpParams};
 pub use tree::{DecisionTree, TreeParams};

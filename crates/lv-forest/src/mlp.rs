@@ -96,13 +96,11 @@ impl Mlp {
                     let row = &xn[i];
                     // Forward.
                     for j in 0..h {
-                        let z: f64 =
-                            b1[j] + (0..d).map(|f| w1[j * d + f] * row[f]).sum::<f64>();
+                        let z: f64 = b1[j] + (0..d).map(|f| w1[j * d + f] * row[f]).sum::<f64>();
                         hid[j] = z.max(0.0);
                     }
                     for c in 0..k {
-                        logits[c] =
-                            b2[c] + (0..h).map(|j| w2[c * h + j] * hid[j]).sum::<f64>();
+                        logits[c] = b2[c] + (0..h).map(|j| w2[c * h + j] * hid[j]).sum::<f64>();
                     }
                     let mx = logits.iter().cloned().fold(f64::MIN, f64::max);
                     let exps: Vec<f64> = logits.iter().map(|&z| (z - mx).exp()).collect();
@@ -119,8 +117,9 @@ impl Mlp {
                         if hid[j] <= 0.0 {
                             continue;
                         }
-                        let dh: f64 =
-                            (0..k).map(|c| (exps[c] / sum - f64::from(c == y[i])) * w2[c * h + j]).sum();
+                        let dh: f64 = (0..k)
+                            .map(|c| (exps[c] / sum - f64::from(c == y[i])) * w2[c * h + j])
+                            .sum();
                         gb1[j] += dh;
                         for f in 0..d {
                             gw1[j * d + f] += dh * row[f];
@@ -145,12 +144,8 @@ impl Mlp {
 
     /// Predict the class of one row.
     pub fn predict(&self, row: &[f64]) -> usize {
-        let rn: Vec<f64> = row
-            .iter()
-            .zip(&self.mean)
-            .zip(&self.std)
-            .map(|((v, m), s)| (v - m) / s)
-            .collect();
+        let rn: Vec<f64> =
+            row.iter().zip(&self.mean).zip(&self.std).map(|((v, m), s)| (v - m) / s).collect();
         let mut best = (0usize, f64::MIN);
         let mut hid = vec![0.0; self.h];
         for j in 0..self.h {

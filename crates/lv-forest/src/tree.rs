@@ -63,11 +63,7 @@ impl DecisionTree {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "cannot fit an empty dataset");
         let n_features = x[0].len();
-        let mut tree = Self {
-            nodes: Vec::new(),
-            importances: vec![0.0; n_features],
-            params,
-        };
+        let mut tree = Self { nodes: Vec::new(), importances: vec![0.0; n_features], params };
         let idx: Vec<usize> = (0..x.len()).collect();
         tree.grow(x, y, n_classes, &idx, 0, rng);
         tree
@@ -107,7 +103,7 @@ impl DecisionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feat, thresh, weighted gini)
         let mut order: Vec<usize> = idx.to_vec();
         for &f in &feats {
-            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
+            order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
             let mut left = vec![0usize; n_classes];
             let mut right = counts.clone();
             for split in 1..order.len() {
@@ -121,7 +117,7 @@ impl DecisionTree {
                 let g = (split as f64 * gini(&left, split)
                     + (order.len() - split) as f64 * gini(&right, order.len() - split))
                     / order.len() as f64;
-                if best.map_or(true, |(_, _, bg)| g < bg) {
+                if best.is_none_or(|(_, _, bg)| g < bg) {
                     best = Some((f, (va + vb) / 2.0, g));
                 }
             }
@@ -134,8 +130,7 @@ impl DecisionTree {
         // Importance: impurity decrease weighted by node size.
         self.importances[feat] += idx.len() as f64 * (node_gini - g);
 
-        let (li, ri): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| x[i][feat] <= thresh);
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][feat] <= thresh);
         debug_assert!(!li.is_empty() && !ri.is_empty());
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { class: 0 }); // placeholder
@@ -221,8 +216,7 @@ mod tests {
     #[test]
     fn importance_assigned_to_informative_feature() {
         // Feature 1 is pure noise, feature 0 decides.
-        let x: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, (i * 7919 % 13) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * 7919 % 13) as f64]).collect();
         let y: Vec<usize> = (0..50).map(|i| usize::from(i >= 25)).collect();
         let t = DecisionTree::fit(&x, &y, 2, TreeParams::default(), &mut rng());
         assert!(t.importances[0] > t.importances[1]);

@@ -9,26 +9,41 @@ fn main() {
         for (i, s) in model.conv_shapes().iter().enumerate() {
             let sc = s.scaled(scale);
             let cfg = MachineConfig::rvv_integrated(512, 1);
-            let mut row = format!("{name} L{:2} ic{:4} oc{:4} hw{:4} k{} s{}: ", i + 1, s.ic, s.oc, sc.ih, s.kh, s.stride);
+            let mut row = format!(
+                "{name} L{:2} ic{:4} oc{:4} hw{:4} k{} s{}: ",
+                i + 1,
+                s.ic,
+                s.oc,
+                sc.ih,
+                s.kh,
+                s.stride
+            );
             let mut best = (Algo::Direct, u64::MAX);
             for a in ALL_ALGOS {
                 if let Some(m) = measure_layer(&cfg, &sc, a) {
                     row += &format!("{:>4}={:<11}", &a.name()[..4.min(a.name().len())], m.cycles);
-                    if m.cycles < best.1 { best = (a, m.cycles); }
+                    if m.cycles < best.1 {
+                        best = (a, m.cycles);
+                    }
                 }
             }
             println!("{row}  -> {}", best.0.name());
         }
     }
     println!("\n== VL scaling (1MB L2), VGG L5 (128->256@56) & YOLO L4 (32->64@304) ==");
-    for s in [zoo::vgg16().conv_shapes()[4].scaled(scale), zoo::yolov3_first20().conv_shapes()[3].scaled(scale)] {
+    for s in [
+        zoo::vgg16().conv_shapes()[4].scaled(scale),
+        zoo::yolov3_first20().conv_shapes()[3].scaled(scale),
+    ] {
         for a in ALL_ALGOS {
             let mut line = format!("{:22} ", a.name());
             let mut base = 0u64;
             for vl in [512, 1024, 2048, 4096] {
                 let cfg = MachineConfig::rvv_integrated(vl, 1);
                 if let Some(m) = measure_layer(&cfg, &s, a) {
-                    if vl == 512 { base = m.cycles; }
+                    if vl == 512 {
+                        base = m.cycles;
+                    }
                     line += &format!("{}b: {:.2}x  ", vl, base as f64 / m.cycles as f64);
                 }
             }
@@ -45,8 +60,15 @@ fn main() {
             for l2 in [1, 4, 16, 64] {
                 let cfg = MachineConfig::rvv_integrated(vl, l2);
                 if let Some(m) = measure_layer(&cfg, &s, a) {
-                    if l2 == 1 { base = m.cycles; }
-                    line += &format!("{}MB: {:.2}x ({:.0}% l2miss)  ", l2, base as f64 / m.cycles as f64, m.l2_miss_rate * 100.0);
+                    if l2 == 1 {
+                        base = m.cycles;
+                    }
+                    line += &format!(
+                        "{}MB: {:.2}x ({:.0}% l2miss)  ",
+                        l2,
+                        base as f64 / m.cycles as f64,
+                        m.l2_miss_rate * 100.0
+                    );
                 }
             }
             println!("{line}");

@@ -131,7 +131,10 @@ pub fn parse_cfg(name: &str, text: &str) -> Result<Model, CfgError> {
             "shortcut" => {
                 let from: isize = sec
                     .get("from")
-                    .ok_or_else(|| CfgError { line: sec.line, message: "shortcut needs from=".into() })?
+                    .ok_or_else(|| CfgError {
+                        line: sec.line,
+                        message: "shortcut needs from=".into(),
+                    })?
                     .trim()
                     .parse()
                     .map_err(|_| CfgError { line: sec.line, message: "bad from=".into() })?;
@@ -140,7 +143,10 @@ pub fn parse_cfg(name: &str, text: &str) -> Result<Model, CfgError> {
             "route" => {
                 let layers: Result<Vec<isize>, _> = sec
                     .get("layers")
-                    .ok_or_else(|| CfgError { line: sec.line, message: "route needs layers=".into() })?
+                    .ok_or_else(|| CfgError {
+                        line: sec.line,
+                        message: "route needs layers=".into(),
+                    })?
                     .split(',')
                     .map(|t| t.trim().parse::<isize>())
                     .collect();
@@ -188,10 +194,8 @@ fn act_name(a: Activation) -> &'static str {
 /// the supported subset).
 pub fn write_cfg(model: &Model) -> String {
     use std::fmt::Write as _;
-    let mut s = format!(
-        "[net]\nchannels={}\nheight={}\nwidth={}\n",
-        model.in_c, model.in_h, model.in_w
-    );
+    let mut s =
+        format!("[net]\nchannels={}\nheight={}\nwidth={}\n", model.in_c, model.in_h, model.in_w);
     for l in &model.layers {
         match &l.kind {
             LayerKind::Conv { shape, activation } => {
@@ -299,8 +303,8 @@ activation=linear
     fn roundtrip_every_zoo_model() {
         for model in [zoo::vgg16(), zoo::yolov3(), zoo::yolov3_first20(), zoo::yolov3_tiny()] {
             let cfg = write_cfg(&model);
-            let back = parse_cfg(&model.name, &cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            let back =
+                parse_cfg(&model.name, &cfg).unwrap_or_else(|e| panic!("{}: {e}", model.name));
             assert_eq!(back.layers.len(), model.layers.len(), "{}", model.name);
             assert_eq!(back.conv_shapes(), model.conv_shapes(), "{}", model.name);
             for (a, b) in back.layers.iter().zip(&model.layers) {

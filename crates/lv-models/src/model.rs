@@ -154,7 +154,12 @@ impl ModelBuilder {
         let idx = self.resolve(from);
         let src = &self.layers[idx];
         assert_eq!((src.out_c, src.out_h, src.out_w), (c, h, w), "shortcut shape mismatch");
-        self.layers.push(Layer { kind: LayerKind::Shortcut { from }, out_c: c, out_h: h, out_w: w });
+        self.layers.push(Layer {
+            kind: LayerKind::Shortcut { from },
+            out_c: c,
+            out_h: h,
+            out_w: w,
+        });
         self
     }
 
@@ -234,7 +239,13 @@ impl ModelBuilder {
 
     /// Finish the network.
     pub fn build(self) -> Model {
-        Model { name: self.name, in_c: self.in_c, in_h: self.in_h, in_w: self.in_w, layers: self.layers }
+        Model {
+            name: self.name,
+            in_c: self.in_c,
+            in_h: self.in_h,
+            in_w: self.in_w,
+            layers: self.layers,
+        }
     }
 }
 

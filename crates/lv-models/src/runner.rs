@@ -105,7 +105,12 @@ impl NetworkReport {
 /// Run a full inference. `assign` gives the requested algorithm per conv
 /// layer (by conv ordinal); Winograd falls back per layer as in the paper.
 /// Returns the per-layer report; activations are deterministic.
-pub fn run_network(m: &mut Machine, model: &Model, assign: &[Algo], weights: &NetWeights) -> NetworkReport {
+pub fn run_network(
+    m: &mut Machine,
+    model: &Model,
+    assign: &[Algo],
+    weights: &NetWeights,
+) -> NetworkReport {
     assert_eq!(assign.len(), model.conv_count(), "one algorithm per conv layer required");
     let mut outputs: Vec<AlignedVec> = Vec::with_capacity(model.layers.len());
     let input = pseudo_buf(model.in_c * model.in_h * model.in_w, 7);
@@ -328,7 +333,15 @@ fn copy_block(m: &mut Machine, src: &[f32], dst: &mut [f32]) {
 
 /// Nearest-neighbour upsample: each input element repeated `stride` times
 /// horizontally (register gather), rows duplicated vertically (copies).
-fn upsample(m: &mut Machine, c: usize, h: usize, w: usize, stride: usize, src: &[f32], dst: &mut [f32]) {
+fn upsample(
+    m: &mut Machine,
+    c: usize,
+    h: usize,
+    w: usize,
+    stride: usize,
+    src: &[f32],
+    dst: &mut [f32],
+) {
     let (nh, nw) = (h * stride, w * stride);
     for ch in 0..c {
         for y in 0..h {

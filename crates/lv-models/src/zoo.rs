@@ -53,7 +53,7 @@ pub fn yolov3() -> Model {
     b = residual_stage(b, 256, 8); // 12..=36 (layer 36 output routed later)
     b = residual_stage(b, 512, 8); // 37..=61 (layer 61 output routed later)
     b = residual_stage(b, 1024, 4); // 62..=74
-    // Head 1 (13x13 at 416; 19x19 at 608).
+                                    // Head 1 (13x13 at 416; 19x19 at 608).
     b = b
         .conv(512, 1, 1, L)
         .conv(1024, 3, 1, L)
@@ -182,7 +182,10 @@ mod tests {
         let convs = m.conv_shapes();
         assert_eq!(convs.len(), 15);
         // Table 1 bottom rows.
-        assert_eq!((convs[0].ic, convs[0].oc, convs[0].ih, convs[0].kh, convs[0].stride), (3, 32, 608, 3, 1));
+        assert_eq!(
+            (convs[0].ic, convs[0].oc, convs[0].ih, convs[0].kh, convs[0].stride),
+            (3, 32, 608, 3, 1)
+        );
         assert_eq!((convs[1].ic, convs[1].oc, convs[1].ih, convs[1].stride), (32, 64, 608, 2));
         assert_eq!(convs[1].oh(), 304);
         assert_eq!((convs[2].ic, convs[2].oc, convs[2].kh), (64, 32, 1));

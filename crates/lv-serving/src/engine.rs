@@ -1,0 +1,491 @@
+//! The serving engine: a discrete-event simulation of a multi-replica
+//! model server with bounded admission, deadline shedding, dynamic
+//! batching, heterogeneous request classes, and full observability.
+//!
+//! ## Event loop
+//!
+//! Two event kinds drive the clock forward: *arrivals* (open-loop Poisson
+//! process; each draws a request class by weight) and *dispatches* (a free
+//! replica launches a batch). A dispatch becomes eligible at
+//!
+//! * `max(replica_free, arrival_of_max_batch_th_request)` once the queue
+//!   holds a full batch (size trigger), or
+//! * `max(replica_free, head_arrival + max_wait)` otherwise (time
+//!   trigger) — unless an earlier arrival completes the batch first.
+//!
+//! The earlier event is processed; ties go to the arrival so batches fill
+//! greedily. Before a batch launches, queued requests whose deadline
+//! passed are shed ([`crate::metrics::DropReason::DeadlineExceeded`]);
+//! requests arriving at a full queue are rejected on the spot
+//! ([`crate::metrics::DropReason::QueueFull`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::batch::{batch_service_time, BatchPolicy};
+use crate::metrics::{
+    DropReason, DropStats, LatencyHistogram, LatencySummary, ReplicaCounters, SeriesRecorder,
+    SliceStat,
+};
+use crate::queue::{AdmissionQueue, QueuedRequest};
+use crate::ServingError;
+
+/// One class of requests (e.g. one model) in the traffic mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestClass {
+    /// Display name ("vgg16", "yolov3", ...).
+    pub name: String,
+    /// Service time of one request of this class alone, in seconds.
+    pub unit_cost_s: f64,
+    /// Relative traffic weight (need not be normalised).
+    pub weight: f64,
+}
+
+impl RequestClass {
+    /// A single uniform class, for homogeneous traffic.
+    pub fn uniform(unit_cost_s: f64) -> Vec<Self> {
+        vec![Self { name: "default".into(), unit_cost_s, weight: 1.0 }]
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of model replicas (each on its own core / L2 partition).
+    pub replicas: usize,
+    /// Traffic mix; at least one class.
+    pub classes: Vec<RequestClass>,
+    /// Total mean arrival rate across classes, requests/second.
+    pub arrival_rate: f64,
+    /// Number of arrivals to simulate.
+    pub requests: usize,
+    /// Admission queue capacity (requests beyond it are rejected).
+    pub queue_capacity: usize,
+    /// Optional relative deadline: queued longer than this ⇒ shed.
+    pub deadline_s: Option<f64>,
+    /// Batching policy.
+    pub batch: BatchPolicy,
+    /// Fraction of a solo request's cost that is per-launch setup, `[0,1)`
+    /// (see [`crate::batch::batch_service_time`]).
+    pub batch_setup_frac: f64,
+    /// RNG seed (the simulation is deterministic given the seed).
+    pub seed: u64,
+    /// Time-series slice width in seconds; `<= 0` picks one automatically
+    /// (~1/20 of the expected run length).
+    pub slice_s: f64,
+}
+
+impl EngineConfig {
+    /// Minimal config: homogeneous traffic, unbounded queue, no batching.
+    pub fn basic(
+        replicas: usize,
+        service_time_s: f64,
+        arrival_rate: f64,
+        requests: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            replicas,
+            classes: RequestClass::uniform(service_time_s),
+            arrival_rate,
+            requests,
+            queue_capacity: usize::MAX,
+            deadline_s: None,
+            batch: BatchPolicy::none(),
+            batch_setup_frac: 0.0,
+            seed,
+            slice_s: 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServingError> {
+        if self.replicas == 0 {
+            return Err(ServingError::NoReplicas);
+        }
+        if self.requests == 0 {
+            return Err(ServingError::NoRequests);
+        }
+        if !self.arrival_rate.is_finite() || self.arrival_rate <= 0.0 {
+            return Err(ServingError::InvalidArrivalRate(self.arrival_rate));
+        }
+        if self.classes.is_empty() {
+            return Err(ServingError::NoClasses);
+        }
+        for c in &self.classes {
+            if !c.unit_cost_s.is_finite() || c.unit_cost_s <= 0.0 {
+                return Err(ServingError::InvalidServiceTime(c.unit_cost_s));
+            }
+            if !c.weight.is_finite() || c.weight < 0.0 {
+                return Err(ServingError::InvalidWeight(c.weight));
+            }
+        }
+        if !self.classes.iter().any(|c| c.weight > 0.0) {
+            return Err(ServingError::NoClasses);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServingError::ZeroQueueCapacity);
+        }
+        if self.batch.max_batch == 0 {
+            return Err(ServingError::ZeroBatch);
+        }
+        if !(0.0..1.0).contains(&self.batch_setup_frac) {
+            return Err(ServingError::InvalidSetupFrac(self.batch_setup_frac));
+        }
+        Ok(())
+    }
+}
+
+/// Everything the engine observed in one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Offered load, requests/second.
+    pub offered_rps: f64,
+    /// Completions per second of makespan.
+    pub achieved_rps: f64,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Drop accounting by reason.
+    pub drops: DropStats,
+    /// Fraction of arrivals dropped (either reason).
+    pub drop_rate: f64,
+    /// End-to-end latency summary of completed requests.
+    pub latency: LatencySummary,
+    /// Mean executed batch size.
+    pub mean_batch_size: f64,
+    /// Mean replica utilization over the makespan, [0, 1].
+    pub utilization: f64,
+    /// Per-replica work counters.
+    pub replica_counters: Vec<ReplicaCounters>,
+    /// Time-sliced utilization / queue-depth series.
+    pub series: Vec<SliceStat>,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: usize,
+}
+
+/// The serving engine. Construct with [`ServingEngine::new`] (validates the
+/// config), then [`ServingEngine::run`].
+#[derive(Debug)]
+pub struct ServingEngine {
+    cfg: EngineConfig,
+}
+
+impl ServingEngine {
+    /// Validate `cfg` and build an engine.
+    pub fn new(cfg: EngineConfig) -> Result<Self, ServingError> {
+        cfg.validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// Run the simulation to completion (all arrivals either served or
+    /// dropped) and report.
+    pub fn run(&self) -> EngineReport {
+        let c = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let total_weight: f64 = c.classes.iter().map(|cl| cl.weight).sum();
+
+        let slice_s = if c.slice_s > 0.0 {
+            c.slice_s
+        } else {
+            (c.requests as f64 / c.arrival_rate / 20.0).max(1e-6)
+        };
+
+        let mut queue = AdmissionQueue::new(c.queue_capacity, c.deadline_s);
+        let mut free_at = vec![0.0f64; c.replicas];
+        let mut counters = vec![ReplicaCounters::default(); c.replicas];
+        let mut drops = DropStats::default();
+        let mut latencies = LatencyHistogram::new();
+        let mut series = SeriesRecorder::new(slice_s);
+        let mut batches = 0u64;
+        let mut batched_requests = 0u64;
+        let mut last_completion = 0.0f64;
+        let mut last_arrival = 0.0f64;
+
+        // Arrival generator: exponential inter-arrival, weighted class pick.
+        let mut t_arr = 0.0f64;
+        let mut remaining = c.requests;
+        let gen_arrival = |rng: &mut StdRng, t_arr: &mut f64| -> QueuedRequest {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            *t_arr += -u.ln() / c.arrival_rate;
+            let class = if c.classes.len() == 1 {
+                0
+            } else {
+                let mut pick = rng.gen_range(f64::EPSILON..1.0) * total_weight;
+                let mut idx = 0;
+                for (i, cl) in c.classes.iter().enumerate() {
+                    idx = i;
+                    pick -= cl.weight;
+                    if pick <= 0.0 {
+                        break;
+                    }
+                }
+                idx
+            };
+            QueuedRequest { arrival_s: *t_arr, class, unit_cost_s: c.classes[class].unit_cost_s }
+        };
+
+        let mut next_arrival: Option<QueuedRequest> = if remaining > 0 {
+            remaining -= 1;
+            Some(gen_arrival(&mut rng, &mut t_arr))
+        } else {
+            None
+        };
+
+        loop {
+            // Earliest-free replica (work-conserving least-loaded dispatch).
+            let (ri, &free) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one replica");
+
+            // When could the next batch launch?
+            let dispatch_at = if queue.is_empty() {
+                None
+            } else if queue.len() >= c.batch.max_batch {
+                // Size trigger: full at the arrival of the max_batch-th item.
+                let full_at = queue
+                    .arrival_at(c.batch.max_batch - 1)
+                    .expect("queue holds at least max_batch items");
+                Some(free.max(full_at))
+            } else {
+                // Time trigger: the head has waited long enough.
+                let head = queue.head_arrival().expect("queue non-empty");
+                Some(free.max(head + c.batch.max_wait_s))
+            };
+
+            match (&next_arrival, dispatch_at) {
+                (None, None) => break,
+                (Some(arr), d) if d.is_none() || arr.arrival_s <= d.expect("some") => {
+                    // Process the arrival.
+                    let arr = *arr;
+                    last_arrival = arr.arrival_s;
+                    if queue.try_admit(arr) {
+                        series.note_depth(arr.arrival_s, queue.len());
+                    } else {
+                        drops.record(DropReason::QueueFull);
+                    }
+                    next_arrival = if remaining > 0 {
+                        remaining -= 1;
+                        Some(gen_arrival(&mut rng, &mut t_arr))
+                    } else {
+                        None
+                    };
+                }
+                (_, Some(d)) => {
+                    // Shed queued work whose deadline passed before `d`.
+                    let shed = queue.shed_expired(d);
+                    if !shed.is_empty() {
+                        for _ in &shed {
+                            drops.record(DropReason::DeadlineExceeded);
+                        }
+                        series.note_depth(d, queue.len());
+                        continue; // head changed — re-evaluate the trigger
+                    }
+                    let batch = queue.pop_batch(c.batch.max_batch);
+                    debug_assert!(!batch.is_empty());
+                    series.note_depth(d, queue.len());
+                    let costs: Vec<f64> = batch.iter().map(|r| r.unit_cost_s).collect();
+                    let svc = batch_service_time(&costs, c.batch_setup_frac);
+                    let done = d + svc;
+                    free_at[ri] = done;
+                    counters[ri].batches += 1;
+                    counters[ri].requests += batch.len() as u64;
+                    counters[ri].busy_s += svc;
+                    series.add_busy(d, done);
+                    batches += 1;
+                    batched_requests += batch.len() as u64;
+                    for r in &batch {
+                        latencies.record(done - r.arrival_s);
+                    }
+                    last_completion = last_completion.max(done);
+                }
+                // (Some, None) always satisfies the arrival arm's guard.
+                _ => unreachable!("arrival with no dispatch is handled above"),
+            }
+        }
+
+        let completed = latencies.len();
+        let makespan = last_completion.max(last_arrival).max(f64::EPSILON);
+        let busy: f64 = counters.iter().map(|r| r.busy_s).sum();
+        let max_queue_depth = series.max_depth();
+        EngineReport {
+            offered_rps: c.arrival_rate,
+            achieved_rps: completed as f64 / makespan,
+            completed,
+            drops,
+            drop_rate: drops.total() as f64 / c.requests as f64,
+            latency: latencies.summary(),
+            mean_batch_size: if batches > 0 {
+                batched_requests as f64 / batches as f64
+            } else {
+                0.0
+            },
+            utilization: busy / (makespan * c.replicas as f64),
+            replica_counters: counters,
+            series: series.finalize(makespan, c.replicas),
+            max_queue_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(arrival_rate: f64) -> EngineConfig {
+        EngineConfig::basic(4, 0.010, arrival_rate, 20_000, 9)
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(matches!(
+            ServingEngine::new(EngineConfig { requests: 0, ..base(100.0) }).unwrap_err(),
+            ServingError::NoRequests
+        ));
+        assert!(matches!(
+            ServingEngine::new(EngineConfig { replicas: 0, ..base(100.0) }).unwrap_err(),
+            ServingError::NoReplicas
+        ));
+        assert!(matches!(
+            ServingEngine::new(EngineConfig { queue_capacity: 0, ..base(100.0) }).unwrap_err(),
+            ServingError::ZeroQueueCapacity
+        ));
+        assert!(matches!(
+            ServingEngine::new(EngineConfig { classes: vec![], ..base(100.0) }).unwrap_err(),
+            ServingError::NoClasses
+        ));
+        assert!(matches!(
+            ServingEngine::new(EngineConfig { arrival_rate: 0.0, ..base(100.0) }).unwrap_err(),
+            ServingError::InvalidArrivalRate(_)
+        ));
+    }
+
+    #[test]
+    fn underloaded_engine_matches_service_time() {
+        let rep = ServingEngine::new(base(100.0)).unwrap().run();
+        assert_eq!(rep.drops.total(), 0);
+        assert!(rep.latency.p50_s < 0.015, "p50 {}", rep.latency.p50_s);
+        assert!((rep.achieved_rps - 100.0).abs() / 100.0 < 0.05);
+        assert!(rep.utilization < 0.5);
+        assert!((rep.mean_batch_size - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_past_capacity() {
+        // 10x overload with a small queue: most arrivals are rejected, but
+        // completed requests see bounded waiting (<= capacity ahead of them).
+        let cfg = EngineConfig { queue_capacity: 32, ..base(4000.0) };
+        let rep = ServingEngine::new(cfg).unwrap().run();
+        assert!(rep.drops.queue_full > 0, "must shed under overload");
+        assert!(rep.drop_rate > 0.5, "drop rate {}", rep.drop_rate);
+        // Worst case wait: 32 queued ahead / 4 replicas * 10ms + own 10ms.
+        let bound = (32.0 / 4.0 + 2.0) * 0.010;
+        assert!(rep.latency.p99_s <= bound, "p99 {} vs bound {bound}", rep.latency.p99_s);
+        assert!(rep.utilization > 0.95);
+        // Achieved throughput still saturates capacity (400 rps).
+        assert!((rep.achieved_rps - 400.0).abs() / 400.0 < 0.05, "rps {}", rep.achieved_rps);
+    }
+
+    #[test]
+    fn unbounded_queue_latency_grows_with_overload() {
+        let bounded =
+            ServingEngine::new(EngineConfig { queue_capacity: 32, ..base(4000.0) }).unwrap().run();
+        let unbounded = ServingEngine::new(base(4000.0)).unwrap().run();
+        assert_eq!(unbounded.drops.total(), 0);
+        assert!(
+            unbounded.latency.p99_s > 10.0 * bounded.latency.p99_s,
+            "unbounded p99 {} should dwarf bounded {}",
+            unbounded.latency.p99_s,
+            bounded.latency.p99_s
+        );
+    }
+
+    #[test]
+    fn deadlines_shed_stale_work() {
+        let cfg = EngineConfig { deadline_s: Some(0.050), ..base(1000.0) }; // 2.5x overload
+        let rep = ServingEngine::new(cfg).unwrap().run();
+        assert!(rep.drops.deadline_exceeded > 0);
+        // Every completed request started within its deadline, so latency
+        // is bounded by deadline + service time.
+        assert!(rep.latency.max_s <= 0.050 + 0.010 + 1e-9, "max {}", rep.latency.max_s);
+    }
+
+    #[test]
+    fn batching_raises_capacity_under_overload() {
+        let overload = 4000.0;
+        let solo = ServingEngine::new(EngineConfig { queue_capacity: 64, ..base(overload) })
+            .unwrap()
+            .run();
+        let batched = ServingEngine::new(EngineConfig {
+            queue_capacity: 64,
+            batch: BatchPolicy::new(8, 0.002),
+            batch_setup_frac: 0.5,
+            ..base(overload)
+        })
+        .unwrap()
+        .run();
+        assert!(
+            batched.mean_batch_size > 2.0,
+            "batches form under load: {}",
+            batched.mean_batch_size
+        );
+        assert!(
+            batched.achieved_rps > 1.5 * solo.achieved_rps,
+            "batched {} vs solo {}",
+            batched.achieved_rps,
+            solo.achieved_rps
+        );
+    }
+
+    #[test]
+    fn batching_under_light_load_times_out_quickly() {
+        // Light traffic never fills a batch of 8; the time trigger must
+        // cap the added latency at ~max_wait.
+        let cfg =
+            EngineConfig { batch: BatchPolicy::new(8, 0.005), batch_setup_frac: 0.5, ..base(50.0) };
+        let rep = ServingEngine::new(cfg).unwrap().run();
+        assert_eq!(rep.drops.total(), 0);
+        assert!(rep.latency.p50_s >= 0.005, "waits for the batch window");
+        assert!(rep.latency.p99_s < 0.005 + 0.010 * 3.0, "p99 {}", rep.latency.p99_s);
+    }
+
+    #[test]
+    fn heterogeneous_classes_mix_costs() {
+        let cfg = EngineConfig {
+            classes: vec![
+                RequestClass { name: "small".into(), unit_cost_s: 0.005, weight: 0.5 },
+                RequestClass { name: "large".into(), unit_cost_s: 0.020, weight: 0.5 },
+            ],
+            ..base(100.0)
+        };
+        let rep = ServingEngine::new(cfg).unwrap().run();
+        assert_eq!(rep.drops.total(), 0);
+        // Mean latency sits between the two unit costs (low load).
+        assert!(
+            rep.latency.mean_s > 0.005 && rep.latency.mean_s < 0.030,
+            "mean {}",
+            rep.latency.mean_s
+        );
+    }
+
+    #[test]
+    fn series_and_counters_are_consistent() {
+        let rep = ServingEngine::new(base(300.0)).unwrap().run();
+        let counted: u64 = rep.replica_counters.iter().map(|r| r.requests).sum();
+        assert_eq!(counted as usize, rep.completed);
+        assert!(!rep.series.is_empty());
+        for s in &rep.series {
+            assert!((0.0..=1.0).contains(&s.utilization), "util {}", s.utilization);
+            assert!(s.mean_queue_depth >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ServingEngine::new(base(350.0)).unwrap().run();
+        let b = ServingEngine::new(base(350.0)).unwrap().run();
+        assert_eq!(a.latency.p99_s, b.latency.p99_s);
+        assert_eq!(a.completed, b.completed);
+    }
+}

@@ -5,23 +5,95 @@
 //! multicore long-vector chip, load-balancing incoming requests. Co-running
 //! replicas compete for the shared L2, which the paper sidesteps with
 //! static, CAT-like cache partitioning — each replica sees an isolated
-//! slice. This crate models that scenario:
+//! slice. This crate models that scenario end to end:
 //!
 //! * [`partition_l2`] — the per-replica cache share,
 //! * [`colocated_throughput`] — the steady-state images/cycle model behind
 //!   Fig. 12's throughput-area Pareto analysis,
-//! * [`ServingSim`] — an open-loop discrete-event simulation (Poisson
-//!   arrivals, least-loaded dispatch) producing latency percentiles, for
-//!   studying serving behaviour below and at saturation.
+//! * [`engine::ServingEngine`] — the full discrete-event serving engine,
+//! * [`ServingSim`] — a thin compatibility facade over the engine for the
+//!   classic open-loop Poisson / least-loaded-dispatch study.
+//!
+//! ## Engine architecture
+//!
+//! The engine is assembled from three submodules:
+//!
+//! * [`queue`] — a **bounded admission queue**. Arrivals beyond the
+//!   configured capacity are rejected immediately (backpressure), and
+//!   queued requests whose deadline passes before service starts are shed
+//!   at dispatch time. Both paths are tallied per
+//!   [`metrics::DropReason`] instead of disappearing.
+//! * [`batch`] — **dynamic batching**. A batch launches when `max_batch`
+//!   requests are waiting (size trigger) or the oldest has waited
+//!   `max_wait_s` (time trigger). Batch cost is `setup + per-item`:
+//!   `setup_frac · max(unit) + (1 − setup_frac) · Σ unit`, so a batch of
+//!   one costs exactly its measured unit time and large batches approach a
+//!   `1/(1 − setup_frac)` throughput gain.
+//! * [`metrics`] — **observability**: exact nearest-rank latency
+//!   percentiles (rank `ceil(n·p)`, never biased low), per-replica
+//!   counters, drop statistics, and time-sliced utilization / queue-depth
+//!   series.
+//!
+//! Heterogeneous traffic is expressed as weighted
+//! [`engine::RequestClass`]es whose unit costs typically come from the
+//! simulated per-layer grid plus the paper's per-layer algorithm selector
+//! (see the `serve` artifact in `lv-bench`).
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod contention;
+pub mod engine;
+pub mod metrics;
 pub mod mixed;
+pub mod queue;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+pub use batch::BatchPolicy;
+pub use engine::{EngineConfig, EngineReport, RequestClass, ServingEngine};
+pub use metrics::{DropStats, LatencySummary, SliceStat};
+
+/// Why a serving simulation could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServingError {
+    /// `requests == 0`: the report would divide by zero.
+    NoRequests,
+    /// `replicas == 0`: no server to dispatch to.
+    NoReplicas,
+    /// No request classes (or all weights zero).
+    NoClasses,
+    /// Non-positive or non-finite service time.
+    InvalidServiceTime(f64),
+    /// Non-positive or non-finite arrival rate.
+    InvalidArrivalRate(f64),
+    /// Negative or non-finite class weight.
+    InvalidWeight(f64),
+    /// Queue capacity of zero would reject every request.
+    ZeroQueueCapacity,
+    /// `max_batch == 0` can never launch a batch.
+    ZeroBatch,
+    /// `batch_setup_frac` outside `[0, 1)`.
+    InvalidSetupFrac(f64),
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoRequests => write!(f, "requests must be > 0"),
+            Self::NoReplicas => write!(f, "replicas must be > 0"),
+            Self::NoClasses => write!(f, "need at least one request class with positive weight"),
+            Self::InvalidServiceTime(v) => write!(f, "service time must be positive, got {v}"),
+            Self::InvalidArrivalRate(v) => write!(f, "arrival rate must be positive, got {v}"),
+            Self::InvalidWeight(v) => write!(f, "class weight must be non-negative, got {v}"),
+            Self::ZeroQueueCapacity => write!(f, "queue capacity must be > 0"),
+            Self::ZeroBatch => write!(f, "max_batch must be >= 1"),
+            Self::InvalidSetupFrac(v) => write!(f, "batch_setup_frac must be in [0,1), got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
 
 /// Split a shared L2 of `total_mib` across `replicas` equal, isolated
 /// partitions (Intel-CAT-like way partitioning). Returns the per-replica
@@ -67,9 +139,9 @@ pub struct ServingReport {
     pub achieved_rps: f64,
     /// Mean end-to-end latency (queueing + service) in seconds.
     pub mean_latency_s: f64,
-    /// Median latency in seconds.
+    /// Median latency in seconds (nearest-rank).
     pub p50_latency_s: f64,
-    /// 99th-percentile latency in seconds.
+    /// 99th-percentile latency in seconds (nearest-rank).
     pub p99_latency_s: f64,
     /// Mean replica utilization in [0, 1].
     pub utilization: f64,
@@ -79,53 +151,44 @@ pub struct ServingReport {
 /// dispatched to the replica that frees up earliest (least-loaded /
 /// work-conserving), each replica serves one request at a time with a
 /// deterministic service time.
+///
+/// This is a compatibility facade over [`engine::ServingEngine`] with no
+/// batching, an unbounded queue, and homogeneous traffic; use the engine
+/// directly for backpressure, deadlines, batching, traffic mixes, and the
+/// full metrics surface.
+#[derive(Debug)]
 pub struct ServingSim {
-    cfg: ServingConfig,
+    engine: ServingEngine,
 }
 
 impl ServingSim {
-    /// Create a simulation.
-    pub fn new(cfg: ServingConfig) -> Self {
-        assert!(cfg.replicas > 0 && cfg.service_time_s > 0.0 && cfg.arrival_rate > 0.0);
-        Self { cfg }
+    /// Create a simulation. Returns a typed error on degenerate configs
+    /// (zero requests/replicas, non-positive rates or service times)
+    /// instead of panicking mid-run.
+    pub fn new(cfg: ServingConfig) -> Result<Self, ServingError> {
+        if !cfg.service_time_s.is_finite() || cfg.service_time_s <= 0.0 {
+            return Err(ServingError::InvalidServiceTime(cfg.service_time_s));
+        }
+        let engine = ServingEngine::new(EngineConfig::basic(
+            cfg.replicas,
+            cfg.service_time_s,
+            cfg.arrival_rate,
+            cfg.requests,
+            cfg.seed,
+        ))?;
+        Ok(Self { engine })
     }
 
     /// Run to completion and report.
     pub fn run(&self) -> ServingReport {
-        let c = &self.cfg;
-        let mut rng = StdRng::seed_from_u64(c.seed);
-        let mut free_at = vec![0.0f64; c.replicas];
-        let mut t = 0.0f64;
-        let mut latencies = Vec::with_capacity(c.requests);
-        let mut busy = 0.0f64;
-        let mut last_completion = 0.0f64;
-        for _ in 0..c.requests {
-            // Exponential inter-arrival.
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            t += -u.ln() / c.arrival_rate;
-            // Earliest-free replica (work-conserving least-loaded dispatch).
-            let (ri, &rt) = free_at
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .expect("at least one replica");
-            let start = t.max(rt);
-            let done = start + c.service_time_s;
-            free_at[ri] = done;
-            latencies.push(done - t);
-            busy += c.service_time_s;
-            last_completion = last_completion.max(done);
-        }
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let makespan = last_completion.max(f64::EPSILON);
-        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let rep = self.engine.run();
         ServingReport {
-            offered_rps: c.arrival_rate,
-            achieved_rps: c.requests as f64 / makespan,
-            mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
-            p50_latency_s: pct(0.50),
-            p99_latency_s: pct(0.99),
-            utilization: busy / (makespan * c.replicas as f64),
+            offered_rps: rep.offered_rps,
+            achieved_rps: rep.achieved_rps,
+            mean_latency_s: rep.latency.mean_s,
+            p50_latency_s: rep.latency.p50_s,
+            p99_latency_s: rep.latency.p99_s,
+            utilization: rep.utilization,
         }
     }
 }
@@ -162,9 +225,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_requests_is_a_typed_error() {
+        let err = ServingSim::new(ServingConfig { requests: 0, ..base_cfg() }).unwrap_err();
+        assert_eq!(err, ServingError::NoRequests);
+        let err = ServingSim::new(ServingConfig { replicas: 0, ..base_cfg() }).unwrap_err();
+        assert_eq!(err, ServingError::NoReplicas);
+        let err = ServingSim::new(ServingConfig { service_time_s: 0.0, ..base_cfg() }).unwrap_err();
+        assert!(matches!(err, ServingError::InvalidServiceTime(_)));
+        let err = ServingSim::new(ServingConfig { arrival_rate: -1.0, ..base_cfg() }).unwrap_err();
+        assert!(matches!(err, ServingError::InvalidArrivalRate(_)));
+    }
+
+    #[test]
     fn underloaded_system_has_low_latency() {
         // 4 replicas x 100 img/s capacity each = 400 rps capacity; offer 100.
-        let rep = ServingSim::new(base_cfg()).run();
+        let rep = ServingSim::new(base_cfg()).unwrap().run();
         assert!(rep.utilization < 0.5, "util {}", rep.utilization);
         // Latency close to pure service time.
         assert!(rep.p50_latency_s < 0.015);
@@ -175,7 +250,7 @@ mod tests {
     fn saturated_system_caps_at_capacity() {
         // Offer 10x capacity: achieved rps ~ 400, latency blows up.
         let cfg = ServingConfig { arrival_rate: 4000.0, ..base_cfg() };
-        let rep = ServingSim::new(cfg).run();
+        let rep = ServingSim::new(cfg).unwrap().run();
         let capacity = 4.0 / 0.010;
         assert!((rep.achieved_rps - capacity).abs() / capacity < 0.05, "rps {}", rep.achieved_rps);
         assert!(rep.utilization > 0.95);
@@ -185,20 +260,19 @@ mod tests {
 
     #[test]
     fn more_replicas_cut_queueing_latency() {
-        let slow = ServingSim::new(ServingConfig { arrival_rate: 350.0, ..base_cfg() }).run();
-        let fast = ServingSim::new(ServingConfig {
-            replicas: 8,
-            arrival_rate: 350.0,
-            ..base_cfg()
-        })
-        .run();
+        let slow =
+            ServingSim::new(ServingConfig { arrival_rate: 350.0, ..base_cfg() }).unwrap().run();
+        let fast =
+            ServingSim::new(ServingConfig { replicas: 8, arrival_rate: 350.0, ..base_cfg() })
+                .unwrap()
+                .run();
         assert!(fast.p99_latency_s < slow.p99_latency_s);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = ServingSim::new(base_cfg()).run();
-        let b = ServingSim::new(base_cfg()).run();
+        let a = ServingSim::new(base_cfg()).unwrap().run();
+        let b = ServingSim::new(base_cfg()).unwrap().run();
         assert_eq!(a.p99_latency_s, b.p99_latency_s);
     }
 }

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::{ServingConfig, ServingReport, ServingSim};
+use crate::{ServingConfig, ServingError, ServingReport, ServingSim};
 
 /// One model class in a mixed deployment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,21 +34,28 @@ pub struct MixedClassReport {
 /// Simulate a mixed deployment. Classes own disjoint replica pools
 /// (requests are routed by model, as serving frameworks do), so each class
 /// is an independent queueing system; the chip-level quantities (total
-/// cores, shared-cache partitions) are decided by the caller.
-pub fn simulate_mixed(classes: &[ModelClass], requests_per_class: usize, seed: u64) -> Vec<MixedClassReport> {
+/// cores, shared-cache partitions) are decided by the caller. Fails with a
+/// typed error if any class has a degenerate configuration.
+pub fn simulate_mixed(
+    classes: &[ModelClass],
+    requests_per_class: usize,
+    seed: u64,
+) -> Result<Vec<MixedClassReport>, ServingError> {
     classes
         .iter()
         .enumerate()
-        .map(|(i, c)| MixedClassReport {
-            name: c.name.clone(),
-            report: ServingSim::new(ServingConfig {
-                replicas: c.replicas,
-                service_time_s: c.service_time_s,
-                arrival_rate: c.arrival_rate,
-                requests: requests_per_class,
-                seed: seed.wrapping_add(i as u64 * 7919),
+        .map(|(i, c)| {
+            Ok(MixedClassReport {
+                name: c.name.clone(),
+                report: ServingSim::new(ServingConfig {
+                    replicas: c.replicas,
+                    service_time_s: c.service_time_s,
+                    arrival_rate: c.arrival_rate,
+                    requests: requests_per_class,
+                    seed: seed.wrapping_add(i as u64 * 7919),
+                })?
+                .run(),
             })
-            .run(),
         })
         .collect()
 }
@@ -74,15 +81,15 @@ pub fn autoscale_to_slo(
     }
     // p99 is monotone non-increasing in the replica count, so binary search.
     let meets = |n: usize| -> bool {
-        let rep = ServingSim::new(ServingConfig {
+        ServingSim::new(ServingConfig {
             replicas: n,
             service_time_s,
             arrival_rate,
             requests: 4000,
             seed,
         })
-        .run();
-        rep.p99_latency_s <= slo_p99_s
+        .map(|sim| sim.run().p99_latency_s <= slo_p99_s)
+        .unwrap_or(false)
     };
     if !meets(max_replicas) {
         return None;
@@ -144,12 +151,23 @@ mod tests {
                 arrival_rate: 50.0, // 25% load
             },
         ];
-        let reps = simulate_mixed(&classes, 4000, 1);
+        let reps = simulate_mixed(&classes, 4000, 1).expect("valid classes");
         assert_eq!(total_replicas(&classes), 3);
         let det = &reps[0].report;
         let cls = &reps[1].report;
         assert!(det.utilization > 0.95, "overloaded pool saturates");
         assert!(cls.p99_latency_s < 0.05, "isolated pool stays fast: {}", cls.p99_latency_s);
+    }
+
+    #[test]
+    fn mixed_rejects_degenerate_class() {
+        let classes = vec![ModelClass {
+            name: "bad".into(),
+            replicas: 0,
+            service_time_s: 0.01,
+            arrival_rate: 10.0,
+        }];
+        assert_eq!(simulate_mixed(&classes, 100, 1).unwrap_err(), ServingError::NoReplicas);
     }
 
     #[test]
@@ -168,6 +186,7 @@ mod tests {
                 requests: 4000,
                 seed: 5,
             })
+            .expect("valid config")
             .run();
             assert!(rep.p99_latency_s > 0.030);
         }
@@ -186,7 +205,48 @@ mod tests {
         let bursty = bursty_arrivals(100.0, 10.0, 0.5, 2000, 9);
         assert!(calm.windows(2).all(|w| w[0] <= w[1]));
         assert!(bursty.windows(2).all(|w| w[0] <= w[1]));
-        // Same request count in less wall time when half the arrivals are 10x.
-        assert!(bursty.last().unwrap() < calm.last().unwrap());
+        // Same request count in less wall time when half the arrivals are
+        // 10x. Compare trace ends without unwrap(): a 2000-sample trace
+        // always has a last element, but the comparison should not be able
+        // to panic even if the lengths changed.
+        let (Some(bursty_end), Some(calm_end)) = (bursty.last(), calm.last()) else {
+            panic!("traces are non-empty by construction");
+        };
+        assert!(bursty_end < calm_end, "bursty {bursty_end} vs calm {calm_end}");
+    }
+
+    #[test]
+    fn bursty_traffic_has_worse_tail_than_calm() {
+        // Replaying both traces through identical pools: the bursty trace's
+        // transient overload must inflate the tail beyond the calm trace's,
+        // even at equal mean load. Serve each trace by least-loaded
+        // dispatch over 4 replicas at 10ms service.
+        let serve_p99 = |trace: &[f64]| -> f64 {
+            let mut free = [0.0f64; 4];
+            let mut lat: Vec<f64> = trace
+                .iter()
+                .map(|&t| {
+                    let (i, &f) = free
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.total_cmp(b.1))
+                        .expect("non-empty pool");
+                    let start = t.max(f);
+                    free[i] = start + 0.010;
+                    free[i] - t
+                })
+                .collect();
+            lat.sort_by(f64::total_cmp);
+            crate::metrics::percentile(&lat, 0.99)
+        };
+        // Equalise mean rate: calm at 190 rps vs bursty averaging the same
+        // (100 rps base, half the arrivals at 10x -> harmonic mix).
+        let calm = bursty_arrivals(190.0, 1.0, 0.0, 4000, 11);
+        let bursty = bursty_arrivals(100.0, 10.0, 0.5, 4000, 11);
+        let (calm_p99, bursty_p99) = (serve_p99(&calm), serve_p99(&bursty));
+        assert!(
+            bursty_p99 > calm_p99,
+            "bursty tail {bursty_p99} should exceed calm tail {calm_p99}"
+        );
     }
 }

@@ -74,7 +74,7 @@ impl Cache {
     /// to ask "is this resident?").
     pub fn probe(&self, line: u64) -> bool {
         let set = (line & self.set_mask) as usize;
-        self.tags[set * self.ways..(set + 1) * self.ways].iter().any(|&t| t == line)
+        self.tags[set * self.ways..(set + 1) * self.ways].contains(&line)
     }
 
     /// Total accesses so far.
@@ -89,7 +89,11 @@ impl Cache {
 
     /// Miss rate in [0, 1]; 0 when the cache was never accessed.
     pub fn miss_rate(&self) -> f64 {
-        if self.accesses == 0 { 0.0 } else { self.misses as f64 / self.accesses as f64 }
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
     }
 
     /// Forget all contents and counters.

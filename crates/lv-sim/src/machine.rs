@@ -320,7 +320,14 @@ impl Machine {
     /// `seg_stride == 0` replicates the same segment `nsegs` times (used by
     /// the Direct kernel to broadcast a weight row across output pixels).
     /// Models an RVV segment/indexed load.
-    pub fn vload_seg(&mut self, vd: VReg, src: &[f32], seg_len: usize, seg_stride: usize, nsegs: usize) {
+    pub fn vload_seg(
+        &mut self,
+        vd: VReg,
+        src: &[f32],
+        seg_len: usize,
+        seg_stride: usize,
+        nsegs: usize,
+    ) {
         let vl = self.vl;
         assert_eq!(vl, nsegs * seg_len, "vload_seg: vl != nsegs * seg_len");
         assert!((nsegs - 1) * seg_stride + seg_len <= src.len(), "vload_seg out of bounds");
@@ -350,7 +357,14 @@ impl Machine {
     }
 
     /// Segmented store: inverse of [`Machine::vload_seg`] (`seg_stride > 0`).
-    pub fn vstore_seg(&mut self, vs: VReg, dst: &mut [f32], seg_len: usize, seg_stride: usize, nsegs: usize) {
+    pub fn vstore_seg(
+        &mut self,
+        vs: VReg,
+        dst: &mut [f32],
+        seg_len: usize,
+        seg_stride: usize,
+        nsegs: usize,
+    ) {
         let vl = self.vl;
         assert_eq!(vl, nsegs * seg_len, "vstore_seg: vl != nsegs * seg_len");
         assert!(seg_stride > 0, "vstore_seg with zero stride would overwrite");
@@ -375,7 +389,8 @@ impl Machine {
         let base = vs.0 as usize * self.mvl;
         for s in 0..nsegs {
             let off = s * seg_stride;
-            dst[off..off + seg_len].copy_from_slice(&self.vregs[base + s * seg_len..base + (s + 1) * seg_len]);
+            dst[off..off + seg_len]
+                .copy_from_slice(&self.vregs[base + s * seg_len..base + (s + 1) * seg_len]);
         }
     }
 
@@ -420,8 +435,9 @@ impl Machine {
         let base = vs.0 as usize * self.mvl;
         for s in 0..nsegs {
             let off = s * seg_stride;
-            dst[off..off + seg_valid]
-                .copy_from_slice(&self.vregs[base + s * seg_block..base + s * seg_block + seg_valid]);
+            dst[off..off + seg_valid].copy_from_slice(
+                &self.vregs[base + s * seg_block..base + s * seg_block + seg_valid],
+            );
         }
     }
 
@@ -649,7 +665,7 @@ impl Machine {
     pub fn vtranspose_n(&mut self, regs: &[VReg]) {
         let n = regs.len();
         let vl = self.vl;
-        assert!(n >= 2 && n <= 8, "vtranspose_n supports 2..=8 registers");
+        assert!((2..=8).contains(&n), "vtranspose_n supports 2..=8 registers");
         assert_eq!(vl % n, 0, "vtranspose_n requires vl % n == 0");
         let permutes = (3 * n) as u64;
         let c = &self.cfg.cost;

@@ -66,7 +66,11 @@ impl Stats {
 
     /// FLOPs per cycle achieved by the run.
     pub fn flops_per_cycle(&self) -> f64 {
-        if self.cycles == 0 { 0.0 } else { self.flops as f64 / self.cycles as f64 }
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64
+        }
     }
 
     /// Difference `self - earlier`, used to attribute counters to a region

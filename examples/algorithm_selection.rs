@@ -31,7 +31,7 @@ fn main() {
 
     println!("\ntop feature importances:");
     let mut imp = eval.importances.clone();
-    imp.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    imp.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (name, v) in imp.iter().take(6) {
         println!("  {name:12} {v:.3}");
     }

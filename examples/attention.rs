@@ -87,7 +87,10 @@ fn attention(cfg: MachineConfig, n_tokens: usize, d: usize) -> (u64, u64, u64) {
 
 fn main() {
     println!("self-attention head on the simulated long-vector machine (thesis future work)\n");
-    println!("{:>8} {:>6} | {:>12} {:>8} {:>9} | VL scaling 512b->4096b", "tokens", "d", "cycles@512b", "gemm%", "softmax%");
+    println!(
+        "{:>8} {:>6} | {:>12} {:>8} {:>9} | VL scaling 512b->4096b",
+        "tokens", "d", "cycles@512b", "gemm%", "softmax%"
+    );
     for (n, d) in [(196usize, 64usize), (196, 128), (576, 64)] {
         let (c512, g512, s512) = attention(MachineConfig::rvv_integrated(512, 4), n, d);
         let (c4096, _, _) = attention(MachineConfig::rvv_integrated(4096, 4), n, d);
@@ -103,12 +106,20 @@ fn main() {
     }
     // Contrast: a conv layer of comparable FLOPs scales better.
     let s = lvconv::tensor::ConvShape::same_pad(64, 256, 56, 3, 1);
-    let c512 = lvconv::models::measure_layer(&MachineConfig::rvv_integrated(512, 4), &s, lvconv::conv::Algo::Direct)
-        .unwrap()
-        .cycles;
-    let c4096 = lvconv::models::measure_layer(&MachineConfig::rvv_integrated(4096, 4), &s, lvconv::conv::Algo::Direct)
-        .unwrap()
-        .cycles;
+    let c512 = lvconv::models::measure_layer(
+        &MachineConfig::rvv_integrated(512, 4),
+        &s,
+        lvconv::conv::Algo::Direct,
+    )
+    .unwrap()
+    .cycles;
+    let c4096 = lvconv::models::measure_layer(
+        &MachineConfig::rvv_integrated(4096, 4),
+        &s,
+        lvconv::conv::Algo::Direct,
+    )
+    .unwrap()
+    .cycles;
     println!(
         "\nreference conv (64->256 @56, Direct): VL scaling {:.2}x —\n\
          attention's skinny d-dimension GEMMs and softmax passes blunt long-vector\n\

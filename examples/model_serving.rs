@@ -53,7 +53,8 @@ fn main() {
             arrival_rate: 0.7 * capacity,
             requests: 5000,
             seed: 11,
-        });
+        })
+        .expect("serving config is valid by construction");
         let rep = sim.run();
         println!(
             "{:>8} {:>8}MB {:>9.2}ms {:>8.1}img/s {:>8.2}ms {:>9.0}% {:>7.1}mm2",

@@ -15,8 +15,15 @@ fn main() {
     let shape = ConvShape::same_pad(64, 128, 76, 3, 1);
     println!(
         "layer: {}x{}x{} -> {}x{}x{}, {}x{} kernel, stride {}\n",
-        shape.ic, shape.ih, shape.iw, shape.oc, shape.oh(), shape.ow(),
-        shape.kh, shape.kw, shape.stride
+        shape.ic,
+        shape.ih,
+        shape.iw,
+        shape.oc,
+        shape.oh(),
+        shape.ow(),
+        shape.kh,
+        shape.kw,
+        shape.stride
     );
 
     let input = pseudo_buf(shape.input_len(), 1);
@@ -45,7 +52,7 @@ fn main() {
                 st.avg_vl(),
                 100.0 * st.l2_miss_rate()
             );
-            if best.map_or(true, |(_, c)| st.cycles < c) {
+            if best.is_none_or(|(_, c)| st.cycles < c) {
                 best = Some((algo, st.cycles));
             }
         }

@@ -9,8 +9,8 @@ use lvconv::tensor::{conv2d_reference, max_rel_error, pseudo_buf, ConvShape};
 use proptest::prelude::*;
 
 fn arb_shape() -> impl Strategy<Value = ConvShape> {
-    (1usize..12, 1usize..20, prop_oneof![Just(1usize), Just(3)], 1usize..3, 6usize..26)
-        .prop_map(|(ic, oc, k, stride, hw)| ConvShape {
+    (1usize..12, 1usize..20, prop_oneof![Just(1usize), Just(3)], 1usize..3, 6usize..26).prop_map(
+        |(ic, oc, k, stride, hw)| ConvShape {
             ic,
             oc,
             ih: hw,
@@ -19,7 +19,8 @@ fn arb_shape() -> impl Strategy<Value = ConvShape> {
             kw: k,
             stride: if k == 1 { 1 } else { stride },
             pad: k / 2,
-        })
+        },
+    )
 }
 
 fn check(algo: Algo, s: &ConvShape, vlen: usize, decoupled: bool) {
@@ -119,6 +120,16 @@ fn decoupled_machine_reports_no_l1_vector_traffic() {
     // Scalar A-broadcasts still go through L1 on both machines, but the
     // vector traffic bypasses L1 only on the decoupled one: its L1 sees
     // far fewer accesses while its L2 sees more.
-    assert!(dec.l1_accesses < int.l1_accesses, "dec L1 {} vs int L1 {}", dec.l1_accesses, int.l1_accesses);
-    assert!(dec.l2_accesses > int.l2_accesses, "dec L2 {} vs int L2 {}", dec.l2_accesses, int.l2_accesses);
+    assert!(
+        dec.l1_accesses < int.l1_accesses,
+        "dec L1 {} vs int L1 {}",
+        dec.l1_accesses,
+        int.l1_accesses
+    );
+    assert!(
+        dec.l2_accesses > int.l2_accesses,
+        "dec L2 {} vs int L2 {}",
+        dec.l2_accesses,
+        int.l2_accesses
+    );
 }

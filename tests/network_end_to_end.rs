@@ -85,9 +85,8 @@ fn maxpool_and_fc_account_cycles() {
     let assign = vec![Algo::Gemm3; model.conv_count()];
     let mut m = Machine::new(MachineConfig::rvv_integrated(512, 1));
     let rep = run_network(&mut m, &model, &assign, &weights);
-    let by_kind = |k: &str| -> u64 {
-        rep.layers.iter().filter(|l| l.kind == k).map(|l| l.cycles).sum()
-    };
+    let by_kind =
+        |k: &str| -> u64 { rep.layers.iter().filter(|l| l.kind == k).map(|l| l.cycles).sum() };
     assert!(by_kind("maxpool") > 0);
     assert!(by_kind("fc") > 0);
     assert!(by_kind("conv") > by_kind("maxpool"), "conv must dominate pooling");

@@ -72,10 +72,10 @@ fn vector_length_scaling_ranks_algorithms() {
 #[test]
 fn cache_scaling_contrast() {
     let s = zoo::vgg16().conv_shapes()[7]; // 256->512 @28, full scale
-    let wino_gain = cycles(&s, Algo::Winograd, 512, 1) as f64
-        / cycles(&s, Algo::Winograd, 512, 64) as f64;
-    let gemm3_gain_longvl = cycles(&s, Algo::Gemm3, 4096, 1) as f64
-        / cycles(&s, Algo::Gemm3, 4096, 64) as f64;
+    let wino_gain =
+        cycles(&s, Algo::Winograd, 512, 1) as f64 / cycles(&s, Algo::Winograd, 512, 64) as f64;
+    let gemm3_gain_longvl =
+        cycles(&s, Algo::Gemm3, 4096, 1) as f64 / cycles(&s, Algo::Gemm3, 4096, 64) as f64;
     assert!(wino_gain < 1.3, "winograd should be cache-insensitive, got {wino_gain:.2}x");
     assert!(
         gemm3_gain_longvl > 1.4,
@@ -142,7 +142,8 @@ fn optimal_selection_beats_every_single_algorithm() {
         layers
             .iter()
             .map(|s| {
-                let eff = if a == Algo::Winograd && !s.winograd_applicable() { Algo::Gemm6 } else { a };
+                let eff =
+                    if a == Algo::Winograd && !s.winograd_applicable() { Algo::Gemm6 } else { a };
                 measure_layer(&cfg, s, eff).unwrap().cycles
             })
             .sum()

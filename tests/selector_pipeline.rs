@@ -2,9 +2,7 @@
 //! train, cross-validate, and check that the predicted-optimal policy is
 //! close to the oracle — the machinery behind Figs. 9-12.
 
-use lvconv::bench::grid::{
-    from_csv, paper2_points, policy_cycles, run_points, to_csv, SimPoint,
-};
+use lvconv::bench::grid::{from_csv, paper2_points, policy_cycles, run_points, to_csv, SimPoint};
 use lvconv::bench::selector::{dataset_from_grid, evaluate_selector, predicted_cycles};
 use lvconv::conv::{Algo, ALL_ALGOS};
 use lvconv::forest::ForestParams;
@@ -14,12 +12,12 @@ use lvconv::tensor::ConvShape;
 /// A reduced grid: 6 distinctive layers x 8 hardware configs x 4 algos.
 fn small_grid() -> Vec<lvconv::bench::grid::GridRow> {
     let layers = [
-        ConvShape::same_pad(3, 16, 48, 3, 1),   // first-layer regime
-        ConvShape::same_pad(16, 32, 24, 3, 1),  // contested 3x3
-        ConvShape::same_pad(32, 16, 24, 1, 1),  // 1x1 squeeze
-        ConvShape::same_pad(16, 32, 24, 3, 2),  // strided
-        ConvShape::same_pad(64, 64, 6, 3, 1),   // skinny
-        ConvShape::same_pad(8, 64, 12, 3, 1),   // wide oc
+        ConvShape::same_pad(3, 16, 48, 3, 1),  // first-layer regime
+        ConvShape::same_pad(16, 32, 24, 3, 1), // contested 3x3
+        ConvShape::same_pad(32, 16, 24, 1, 1), // 1x1 squeeze
+        ConvShape::same_pad(16, 32, 24, 3, 2), // strided
+        ConvShape::same_pad(64, 64, 6, 3, 1),  // skinny
+        ConvShape::same_pad(8, 64, 12, 3, 1),  // wide oc
     ];
     let mut pts = Vec::new();
     for (i, s) in layers.iter().enumerate() {
@@ -69,11 +67,7 @@ fn selector_beats_chance_and_predictions_resolve() {
     let eval = evaluate_selector(&rows, ForestParams { n_trees: 40, ..Default::default() });
     // 4-class problem: chance ~ the majority-class share; the forest should
     // do clearly better than 40%.
-    assert!(
-        eval.cv.mean_accuracy > 0.5,
-        "cv accuracy too low: {:.2}",
-        eval.cv.mean_accuracy
-    );
+    assert!(eval.cv.mean_accuracy > 0.5, "cv accuracy too low: {:.2}", eval.cv.mean_accuracy);
     // Every cross-validated prediction must map to a real measurement.
     for (k, algo) in &eval.predictions {
         let c = policy_cycles(&rows, &k.model, k.layer, k.vlen, k.l2, Some(*algo));
@@ -96,22 +90,20 @@ fn predicted_policy_close_to_oracle() {
         assert!(p >= o, "prediction cannot beat the oracle");
     }
     let overhead = pred_total as f64 / oracle_total as f64;
-    assert!(
-        overhead < 1.25,
-        "predicted policy should be within 25% of oracle, got {overhead:.3}x"
-    );
+    assert!(overhead < 1.25, "predicted policy should be within 25% of oracle, got {overhead:.3}x");
 }
 
 #[test]
 fn oracle_policy_dominates_uniform_policies() {
     let rows = small_grid();
     for vlen in [512usize, 2048] {
-        let oracle: u64 = (1..=6)
-            .map(|l| policy_cycles(&rows, "small", l, vlen, 1, None).unwrap())
-            .sum();
+        let oracle: u64 =
+            (1..=6).map(|l| policy_cycles(&rows, "small", l, vlen, 1, None).unwrap()).sum();
         for algo in ALL_ALGOS {
             let uniform: u64 = (1..=6)
-                .map(|l| policy_cycles(&rows, "small", l, vlen, 1, Some(algo)).unwrap_or(u64::MAX / 8))
+                .map(|l| {
+                    policy_cycles(&rows, "small", l, vlen, 1, Some(algo)).unwrap_or(u64::MAX / 8)
+                })
                 .sum();
             assert!(oracle <= uniform, "oracle lost to {algo:?} at {vlen}b");
         }

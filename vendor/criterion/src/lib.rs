@@ -1,0 +1,135 @@
+//! Offline shim for `criterion`: runs each benchmark body a few times and
+//! prints a single wall-clock figure. Good enough for smoke-running
+//! `cargo bench` and coarse comparisons; NOT a statistical benchmark
+//! harness (no warmup control, outlier rejection, or regression tracking).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { _priv: () }
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup {
+    _priv: (),
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the shim always runs a fixed few samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Run a parameterised benchmark inside this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self(p.to_string())
+    }
+
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new<P: Display>(name: &str, p: P) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// Declared throughput of a benchmark (ignored by the shim).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark body; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` over a few iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const ITERS: usize = 3;
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            let out = routine();
+            self.samples.push(t0.elapsed().as_secs_f64());
+            drop(out);
+        }
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new() };
+    f(&mut b);
+    let best = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    if best.is_finite() {
+        println!("  {id}: {:.3} ms/iter (best of {})", best * 1e3, b.samples.len());
+    } else {
+        println!("  {id}: no samples");
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

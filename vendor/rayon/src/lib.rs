@@ -1,0 +1,176 @@
+//! Offline shim for `rayon`, covering the one pattern this workspace uses:
+//! `vec.into_par_iter().map(..)/.filter_map(..).collect()`.
+//!
+//! Work is distributed over `std::thread::scope` workers pulling from a
+//! shared index-tagged worklist; results are re-sorted by input index, so
+//! collection order matches the sequential iterator exactly. On a single
+//! hardware thread this degenerates to a sequential pass.
+
+use std::sync::Mutex;
+
+/// The usual glob-import entry point.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a (shim) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Build the parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Minimal parallel-iterator surface: adapters plus `collect`.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Drain into index-tagged pairs, preserving input order in the tag.
+    fn drive(self) -> Vec<(usize, Self::Item)>;
+
+    /// Map adapter.
+    fn map<U: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Filter-map adapter.
+    fn filter_map<U: Send, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<U> + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Collect results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let mut tagged = self.drive();
+        tagged.sort_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// Root iterator over a `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<(usize, T)> {
+        self.items.into_iter().enumerate().collect()
+    }
+}
+
+/// `map` adapter: applies `f` across worker threads.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<(usize, U)> {
+        let f = &self.f;
+        run_tagged(self.base.drive(), move |v| Some(f(v)))
+    }
+}
+
+/// `filter_map` adapter: applies `f` across worker threads, dropping `None`.
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> Option<U> + Sync,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<(usize, U)> {
+        let f = &self.f;
+        run_tagged(self.base.drive(), f)
+    }
+}
+
+/// Run `f` over the tagged worklist on as many threads as the host offers.
+fn run_tagged<T: Send, U: Send>(
+    input: Vec<(usize, T)>,
+    f: impl Fn(T) -> Option<U> + Sync,
+) -> Vec<(usize, U)> {
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(input.len().max(1));
+    if threads <= 1 {
+        return input.into_iter().filter_map(|(i, v)| f(v).map(|u| (i, u))).collect();
+    }
+    let work = Mutex::new(input.into_iter());
+    let out = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = work.lock().unwrap().next();
+                match item {
+                    Some((i, v)) => {
+                        if let Some(u) = f(v) {
+                            out.lock().unwrap().push((i, u));
+                        }
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    out.into_inner().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_drops_and_orders() {
+        let v: Vec<usize> = (0..100).collect();
+        let evens: Vec<usize> =
+            v.into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(evens, (0..100).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<usize> = Vec::new();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`: marker traits plus no-op derives.
+//!
+//! Nothing in this workspace actually serializes data through serde — the
+//! derives exist on a few structs for downstream-compatibility. The shim
+//! keeps those `#[derive(Serialize, Deserialize)]` attributes compiling
+//! without pulling in the real serde stack.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//! The real traits are blanket-implemented in the shim `serde` crate, so
+//! the derives only need to swallow the attribute and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
