@@ -2,30 +2,47 @@
 //!
 //! Usage:
 //! ```text
-//! repro <experiment> [--scale S] [--force] [--out DIR]
+//! repro <experiment> [--scale S] [--force] [--trace FILE]
 //! repro all            # every Paper II experiment
 //! repro grid           # (re)compute the Paper II measurement grid
 //! repro p1grid         # (re)compute the Paper I sweeps
 //! ```
 //! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
 //! selector fig9 fig10 fig11 fig12 serve p1-blocks p1-vl p1-cache p1-lanes
-//! p1-winograd p1-pareto p1-naive
+//! p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify
 //!
 //! `serve` runs the saturation sweep of the serving engine (bounded
 //! queue, dynamic batching, selector-driven service times) and writes
 //! `results/serve.txt` / `results/serve.csv`.
+//!
+//! `--trace FILE` records the run with `lv-trace` and writes Chrome
+//! trace-event JSON (loadable in Perfetto / `chrome://tracing`): wall-clock
+//! artifact spans, simulated-cycle network → layer → kernel spans for
+//! `fig1`/`fig2` (plus `results/roofline-<model>.csv`), and request
+//! lifecycle events for `serve`.
+
+use std::path::PathBuf;
 
 use lv_bench::grid;
+use lv_bench::trace::{TraceCtx, ARTIFACTS};
+
+fn die_unknown(what: &str) -> ! {
+    eprintln!("{what}");
+    eprintln!("valid artifacts: grid p1grid {}", ARTIFACTS.join(" "));
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <experiment|all|grid|p1grid> [--scale S] [--force]");
+        eprintln!("usage: repro <experiment|all|grid|p1grid> [--scale S] [--force] [--trace FILE]");
+        eprintln!("valid artifacts: grid p1grid {}", ARTIFACTS.join(" "));
         std::process::exit(2);
     }
     let cmd = args[0].clone();
     let mut scale = 1.0f64;
     let mut force = false;
+    let mut trace_path: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,16 +58,28 @@ fn main() {
                 force = true;
                 i += 1;
             }
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
+            "--trace" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--trace requires an output file path");
+                    std::process::exit(2);
+                };
+                trace_path = Some(PathBuf::from(p));
+                i += 2;
             }
+            other => die_unknown(&format!("unknown flag {other}")),
         }
     }
-    run(&cmd, scale, force);
+    if cmd != "grid" && cmd != "p1grid" && !ARTIFACTS.contains(&cmd.as_str()) {
+        die_unknown(&format!("unknown experiment: {cmd}"));
+    }
+    let ctx = if trace_path.is_some() { TraceCtx::enabled() } else { TraceCtx::disabled() };
+    run(&cmd, scale, force, &ctx);
+    if let Some(path) = trace_path {
+        ctx.finish(&path);
+    }
 }
 
-fn run(cmd: &str, scale: f64, force: bool) {
+fn run(cmd: &str, scale: f64, force: bool, ctx: &TraceCtx) {
     match cmd {
         "grid" => {
             let rows = grid::ensure_grid("grid", scale, force, true);
@@ -60,6 +89,6 @@ fn run(cmd: &str, scale: f64, force: bool) {
             let rows = grid::ensure_grid("p1grid", scale, force, true);
             println!("p1grid ready: {} rows", rows.len());
         }
-        other => lv_bench::figures::run_experiment(other, scale, force),
+        other => lv_bench::figures::run_experiment_traced(other, scale, force, ctx),
     }
 }

@@ -13,6 +13,7 @@ use crate::grid::{
     P2_L2S, P2_VLENS,
 };
 use crate::selector::{evaluate_selector, predicted_cycles, SelectorEval};
+use crate::trace::{TraceCtx, ARTIFACTS};
 
 /// Seconds at the simulated 2 GHz clock.
 fn secs(cycles: u64) -> f64 {
@@ -27,14 +28,30 @@ fn save(id: &str, text: &str) {
 
 /// Dispatch an experiment by id (see `repro --help` text).
 pub fn run_experiment(id: &str, scale: f64, force: bool) {
+    run_experiment_traced(id, scale, force, &TraceCtx::disabled());
+}
+
+/// [`run_experiment`] with a trace context: each artifact gets a
+/// wall-clock span on the harness track, and `fig1`/`fig2`/`serve` run an
+/// extra traced workload (network inference / serving engine) when the
+/// context is recording. With a disabled context this is exactly
+/// [`run_experiment`].
+pub fn run_experiment_traced(id: &str, scale: f64, force: bool, ctx: &TraceCtx) {
+    let span = ctx.artifact_begin(id);
     let report = match id {
         "table1" => table1_report(scale),
         "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "dataset"
         | "selector" | "fig9" | "fig10" | "fig11" | "fig12" | "serve" => {
             let rows = ensure_grid("grid", scale, force, true);
             match id {
-                "fig1" => fig1_2(&rows, "vgg16", "fig1"),
-                "fig2" => fig1_2(&rows, "yolov3-20", "fig2"),
+                "fig1" => {
+                    crate::trace::traced_fig_run(ctx, &rows, "vgg16", scale);
+                    fig1_2(&rows, "vgg16", "fig1")
+                }
+                "fig2" => {
+                    crate::trace::traced_fig_run(ctx, &rows, "yolov3-20", scale);
+                    fig1_2(&rows, "yolov3-20", "fig2")
+                }
                 "fig3" => fig3_4(&rows, "vgg16", "fig3"),
                 "fig4" => fig3_4(&rows, "yolov3-20", "fig4"),
                 "fig5" => fig5_8(&rows, "vgg16", 512, "fig5"),
@@ -47,7 +64,7 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
                 "fig10" => fig9_10(&rows, "yolov3-20", "fig10"),
                 "fig11" => fig11(&rows),
                 "fig12" => fig12(&rows),
-                "serve" => crate::serving::serve_report(&rows),
+                "serve" => crate::serving::serve_report(&rows, ctx),
                 _ => unreachable!(),
             }
         }
@@ -79,8 +96,9 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                 "dataset", "selector", "fig9", "fig10", "fig11", "fig12", "serve",
             ] {
-                run_experiment(e, scale, false);
+                run_experiment_traced(e, scale, false, ctx);
             }
+            ctx.artifact_end(span);
             return;
         }
         "p1-all" => {
@@ -94,8 +112,9 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
                 "p1-naive",
                 "p1-roofline",
             ] {
-                run_experiment(e, scale, false);
+                run_experiment_traced(e, scale, false, ctx);
             }
+            ctx.artifact_end(span);
             return;
         }
         "ablations" => {
@@ -106,18 +125,21 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) {
                 "ablation-unroll",
                 "ablation-contention",
             ] {
-                run_experiment(e, scale, false);
+                run_experiment_traced(e, scale, false, ctx);
             }
+            ctx.artifact_end(span);
             return;
         }
         other => {
             eprintln!("unknown experiment: {other}");
+            eprintln!("valid artifacts: {}", ARTIFACTS.join(" "));
             std::process::exit(2);
         }
     };
     save(id, &report);
     println!("{report}");
     println!("[saved to {}/{id}.txt]", results_dir().display());
+    ctx.artifact_end(span);
 }
 
 // ------------------------------------------------------------- Table 1
@@ -932,6 +954,8 @@ fn p1_roofline(scale: f64) -> String {
         }
         let meas = measure_layer(&cfg, &s, Algo::Gemm6).expect("gemm applies");
         let fpc = meas.stats.flops_per_cycle();
+        let line_bytes = cfg.l2.line_bytes;
+        let bw_util = meas.stats.dram_bytes_per_cycle(line_bytes) / cfg.peak_dram_bytes_per_cycle();
         trows.push(vec![
             format!("L{layer}"),
             mm.to_string(),
@@ -939,15 +963,21 @@ fn p1_roofline(scale: f64) -> String {
             kk.to_string(),
             format!("{:.1}", s.arithmetic_intensity()),
             format!("{:.0}%", 100.0 * fpc / peak_flops_per_cycle),
+            meas.stats.prefetch_lines.to_string(),
+            format!("{:.0}%", 100.0 * bw_util),
         ]);
     }
     let mut out = format!(
         "p1-roofline: arithmetic intensity and sustained fraction of peak, YOLOv3 discrete\n\
          conv layers on the A64FX-like machine with the 6-loop GEMM (Paper I Table IV; scale {scale})\n\n"
     );
-    out.push_str(&table(&["layer", "M", "N", "K", "AI (flop/B)", "% of peak"], &trows));
+    out.push_str(&table(
+        &["layer", "M", "N", "K", "AI (flop/B)", "% of peak", "prefetch lines", "BW util"],
+        &trows,
+    ));
     out.push_str(
-        "\n(paper: low-AI layers — small M and K — sustain ~46-50% of peak, high-AI layers 75-91%)\n",
+        "\n(paper: low-AI layers — small M and K — sustain ~46-50% of peak, high-AI layers 75-91%;\n\
+         BW util = demand+prefetch DRAM bytes/cycle against the 12.8 GB/s channel)\n",
     );
     out
 }

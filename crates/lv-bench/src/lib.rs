@@ -17,4 +17,5 @@ pub mod figures;
 pub mod grid;
 pub mod selector;
 pub mod serving;
+pub mod trace;
 pub mod verify;

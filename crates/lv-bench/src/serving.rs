@@ -23,6 +23,7 @@ use lv_serving::{partition_l2, BatchPolicy, EngineConfig, RequestClass, ServingE
 use crate::chart::table;
 use crate::grid::{policy_cycles, results_dir, table1_layers, GridRow, P2_L2S};
 use crate::selector::{evaluate_selector, predicted_cycles, tuned_params, SelectorEval};
+use crate::trace::{TraceCtx, PID_SERVING};
 
 /// Simulated clock of the grid measurements (2 GHz).
 const CLOCK_HZ: f64 = 2e9;
@@ -131,7 +132,11 @@ fn classes_for(services: &[ModelService], pick: Pick) -> Vec<RequestClass> {
 }
 
 /// Build the `serve` report (and `results/serve.csv`) from grid rows.
-pub fn serve_report(rows: &[GridRow]) -> String {
+/// When `ctx` is recording, one extra short engine run (Optimal mix at
+/// 1.3x capacity, dynamic batching, deadline shedding) emits its request
+/// lifecycle into the trace; the sweep itself stays untraced so the
+/// reported numbers are identical with and without `--trace`.
+pub fn serve_report(rows: &[GridRow], ctx: &TraceCtx) -> String {
     let eval = evaluate_selector(rows, tuned_params());
     let l2_mib = partition_l2(SHARED_L2_MIB, REPLICAS, &P2_L2S)
         .expect("64 MiB / 4 replicas lands on a measured L2 size");
@@ -294,5 +299,26 @@ pub fn serve_report(rows: &[GridRow]) -> String {
     out.push_str(&table(&["max batch", "mean batch", "achieved", "p99 ms", "drops"], &brows));
 
     std::fs::write(results_dir().join("serve.csv"), csv).ok();
+
+    // Traced showcase run: small enough to keep the trace readable, loaded
+    // enough (1.3x capacity, tight deadline) to exercise every lifecycle
+    // event — admit, queue, batch, execute, and both drop reasons.
+    if ctx.tracer.is_enabled() {
+        let cfg = EngineConfig {
+            replicas: REPLICAS,
+            classes: classes_for(&services, |s| s.optimal_s),
+            arrival_rate: 1.3 * opt_cap,
+            requests: 300,
+            queue_capacity: QUEUE_CAP,
+            deadline_s: Some(8.0 * mean(|s| s.optimal_s)),
+            batch: BatchPolicy::new(4, mean(|s| s.optimal_s)),
+            batch_setup_frac: setup_frac,
+            seed: 7,
+            slice_s: 0.0,
+        };
+        ServingEngine::new(cfg)
+            .expect("traced config is valid")
+            .run_traced(&ctx.tracer, PID_SERVING);
+    }
     out
 }

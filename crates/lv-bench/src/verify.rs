@@ -233,6 +233,50 @@ pub fn verify(scale: f64) -> Vec<Claim> {
         });
     }
 
+    // ---- Roofline sanity: derived DRAM bandwidth utilisation (demand +
+    // prefetch lines against the 12.8 GB/s channel) is a fraction of peak,
+    // and the low-AI first layer is more bandwidth-hungry than a deep
+    // high-AI layer. Measured live: the grid does not store prefetch lines.
+    {
+        use lv_models::measure_layer;
+        use lv_sim::MachineConfig;
+        let cfg = MachineConfig::rvv_integrated(512, 1);
+        let util = |model: &str, layer: usize| -> Option<f64> {
+            let s = table1_layers(scale)
+                .into_iter()
+                .find(|(m, l, _)| m == model && *l == layer)
+                .map(|(_, _, s)| s)?;
+            let meas = measure_layer(&cfg, &s, Algo::Gemm6)?;
+            Some(
+                meas.stats.dram_bytes_per_cycle(cfg.l2.line_bytes)
+                    / cfg.peak_dram_bytes_per_cycle(),
+            )
+        };
+        if let (Some(early), Some(deep)) = (util("vgg16", 1), util("vgg16", 10)) {
+            claims.push(Claim {
+                id: "roofline.bw-util-sane",
+                detail: format!(
+                    "DRAM BW utilisation: VGG L1 {:.0}%, L10 {:.0}% of the 6.4 B/cycle peak",
+                    100.0 * early,
+                    100.0 * deep
+                ),
+                verdict: if early > 0.0 && early <= 1.0 && deep > 0.0 && deep <= 1.0 {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail
+                },
+            });
+            claims.push(Claim {
+                id: "roofline.low-ai-more-bw-bound",
+                detail: format!(
+                    "low-AI L1 uses {:.2}x the bandwidth fraction of high-AI L10",
+                    early / deep
+                ),
+                verdict: if early > deep { Verdict::Pass } else { Verdict::Warn },
+            });
+        }
+    }
+
     // ---- Paper I (only when its grid is cached).
     if let Some(p1) = crate::grid::load_grid("p1grid", scale) {
         let total = |vlen: usize, l2: usize| -> u64 {

@@ -142,12 +142,14 @@ pub fn run_conv(
     assert_eq!(weights.shape, *s, "weights prepared for a different shape");
     assert_eq!(input.len(), s.input_len(), "input length mismatch");
     assert_eq!(output.len(), s.output_len(), "output length mismatch");
+    m.region_begin(algo.name());
     match algo {
         Algo::Direct => direct::run(m, s, input, &weights.data, output, DirectVariant::Optimized),
         Algo::Gemm3 => gemm3::run(m, s, input, &weights.data, output),
         Algo::Gemm6 => gemm6::run(m, s, input, &weights.data, output, &Gemm6Blocking::paper()),
         Algo::Winograd => winograd::run(m, s, input, &weights.data, output),
     }
+    m.region_end();
 }
 
 /// Run a batch of inferences through one layer, reusing the machine (and

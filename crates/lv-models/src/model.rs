@@ -280,6 +280,51 @@ impl Model {
             from as usize
         }
     }
+
+    /// Product of all conv/pool strides: the factor the input must be a
+    /// multiple of for every spatial dimension to divide evenly.
+    pub fn downsample_factor(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match &l.kind {
+                LayerKind::Conv { shape, .. } => shape.stride,
+                LayerKind::MaxPool { stride, .. } => *stride,
+                _ => 1,
+            })
+            .product::<usize>()
+            .max(1)
+    }
+
+    /// Structural clone with input H/W scaled by `scale` and snapped to a
+    /// multiple of [`Model::downsample_factor`] (so every stride divides
+    /// evenly). Channel widths, kernels and the layer graph are unchanged;
+    /// `scaled(1.0)` on a well-formed model is the identity. Used by the
+    /// harness to run full networks at reduced cost (e.g. `--scale 0.1`).
+    pub fn scaled(&self, scale: f64) -> Model {
+        assert!(scale > 0.0, "scale must be positive");
+        let snap = self.downsample_factor();
+        let units = (self.in_h as f64 * scale / snap as f64).round().max(1.0) as usize;
+        let side = units * snap;
+        let mut b = ModelBuilder::new(&self.name, self.in_c, side, side);
+        for l in &self.layers {
+            b = match &l.kind {
+                LayerKind::Conv { shape, activation } => {
+                    b.conv(shape.oc, shape.kh, shape.stride, *activation)
+                }
+                LayerKind::MaxPool { size, stride } => b.maxpool(*size, *stride),
+                LayerKind::Shortcut { from } => b.shortcut(*from),
+                LayerKind::Route { layers } => b.route(layers),
+                LayerKind::Upsample { stride } => b.upsample(*stride),
+                LayerKind::AvgPool => b.avgpool(),
+                LayerKind::FullyConnected { outputs, activation, .. } => {
+                    b.fc(*outputs, *activation)
+                }
+                LayerKind::Softmax => b.softmax(),
+                LayerKind::Yolo => b.yolo(),
+            };
+        }
+        b.build()
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +354,29 @@ mod tests {
             .route(&[-1, -2])
             .build();
         assert_eq!(m.layers[2].out_c, 12);
+    }
+
+    #[test]
+    fn scaled_preserves_structure_and_snaps_dims() {
+        let m = ModelBuilder::new("t", 3, 64, 64)
+            .conv(16, 3, 1, Activation::Leaky)
+            .conv(32, 3, 2, Activation::Leaky)
+            .maxpool(2, 2)
+            .conv(16, 1, 1, Activation::Leaky)
+            .fc(10, Activation::Linear)
+            .build();
+        assert_eq!(m.downsample_factor(), 4);
+        assert_eq!(m.scaled(1.0), m);
+        let small = m.scaled(0.25);
+        assert_eq!(small.in_h % 4, 0);
+        assert_eq!(small.layers.len(), m.layers.len());
+        assert_eq!(small.conv_count(), m.conv_count());
+        assert!(small.total_conv_macs() < m.total_conv_macs());
+        // FC input dims follow the scaled shape.
+        let LayerKind::FullyConnected { inputs, .. } = &small.layers[4].kind else {
+            panic!("layer 4 should be FC");
+        };
+        assert_eq!(*inputs, 16 * (small.in_h / 4) * (small.in_w / 4));
     }
 
     #[test]

@@ -112,12 +112,19 @@ pub fn run_network(
     weights: &NetWeights,
 ) -> NetworkReport {
     assert_eq!(assign.len(), model.conv_count(), "one algorithm per conv layer required");
+    let trace = m.trace_enabled();
+    if trace {
+        m.region_begin(&format!("network:{}", model.name));
+    }
     let mut outputs: Vec<AlignedVec> = Vec::with_capacity(model.layers.len());
     let input = pseudo_buf(model.in_c * model.in_h * model.in_w, 7);
     let mut reports = Vec::with_capacity(model.layers.len());
     let mut conv_i = 0usize;
     let mut fc_i = 0usize;
     for (idx, layer) in model.layers.iter().enumerate() {
+        if trace {
+            m.region_begin(&format!("L{idx}:{}", kind_name(&layer.kind)));
+        }
         let before = m.stats();
         let prev: &[f32] = if idx == 0 { &input } else { &outputs[idx - 1] };
         let mut out = AlignedVec::zeroed(layer.out_len());
@@ -166,6 +173,24 @@ pub fn run_network(
             LayerKind::Yolo => copy_block(m, prev, &mut out),
         }
         let delta = m.stats().delta_since(&before);
+        if trace {
+            use lv_trace::keys;
+            let mut args: lv_trace::Args = vec![
+                (keys::LAYER.to_string(), idx.into()),
+                (keys::KIND.to_string(), kind_name(&layer.kind).into()),
+            ];
+            if let Some(algo) = used_algo {
+                args.push((keys::ALGO.to_string(), algo.name().into()));
+            }
+            if let LayerKind::Conv { shape, .. } = &layer.kind {
+                args.push(("ic".to_string(), shape.ic.into()));
+                args.push(("oc".to_string(), shape.oc.into()));
+                args.push(("hw".to_string(), shape.ih.into()));
+                args.push(("k".to_string(), shape.kh.into()));
+                args.push(("stride".to_string(), shape.stride.into()));
+            }
+            m.region_end_with(args);
+        }
         reports.push(LayerReport {
             index: idx,
             kind: kind_name(&layer.kind).to_string(),
@@ -174,6 +199,9 @@ pub fn run_network(
             stats: delta,
         });
         outputs.push(out);
+    }
+    if trace {
+        m.region_end();
     }
     let total_cycles = reports.iter().map(|r| r.cycles).sum();
     let conv_cycles = reports.iter().filter(|r| r.kind == "conv").map(|r| r.cycles).sum();
@@ -458,6 +486,56 @@ mod tests {
         assert_eq!(rep.total_cycles, m.cycles());
         assert!(rep.conv_cycles > 0 && rep.conv_cycles <= rep.total_cycles);
         assert!(rep.conv_fraction() > 0.3, "conv should dominate: {}", rep.conv_fraction());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_spans_reconcile() {
+        use lv_sim::{Tracer, TrackId};
+        use lv_trace::{keys, ArgValue};
+
+        let model = tiny_model();
+        let weights = generate_weights(&model);
+        let assign = vec![Algo::Gemm3; model.conv_count()];
+
+        let mut plain = Machine::new(MachineConfig::rvv_integrated(512, 1));
+        let plain_rep = run_network(&mut plain, &model, &assign, &weights);
+
+        let tracer = Tracer::enabled();
+        let mut traced = Machine::new(MachineConfig::rvv_integrated(512, 1));
+        traced.set_tracer(tracer.clone(), TrackId::new(1, 0));
+        let traced_rep = run_network(&mut traced, &model, &assign, &weights);
+
+        // Tracing is invisible to the counted work. (Cycle counts are
+        // compared field-wise on the address-independent counters: the
+        // cache model keys on host heap addresses, so any allocation —
+        // including the tracer's own — can legally shift hit/miss timing
+        // between two in-process runs.)
+        let (p, t) = (plain.stats(), traced.stats());
+        assert_eq!(p.flops, t.flops);
+        assert_eq!(p.vector_instrs, t.vector_instrs);
+        assert_eq!(p.vector_elems, t.vector_elems);
+        assert_eq!(p.vsetvls, t.vsetvls);
+        assert_eq!(p.scalar_ops, t.scalar_ops);
+        assert_eq!(plain_rep.layers.len(), traced_rep.layers.len());
+
+        let spans = tracer.snapshot_spans();
+        let network = spans.iter().find(|s| s.name.starts_with("network:")).expect("network span");
+        let layer_spans: Vec<_> = spans.iter().filter(|s| s.depth == 1).collect();
+        assert_eq!(layer_spans.len(), model.layers.len());
+        // Layer durations sum exactly to the network span (nothing charges
+        // cycles between layers) and match the report's per-layer cycles.
+        let sum: f64 = layer_spans.iter().map(|s| s.dur_us()).sum();
+        assert_eq!(sum, network.dur_us());
+        assert_eq!(network.dur_us(), traced_rep.total_cycles as f64);
+        for (span, rep) in layer_spans.iter().zip(&traced_rep.layers) {
+            assert_eq!(span.dur_us(), rep.cycles as f64, "layer {} span/report", rep.index);
+            let layer_idx =
+                span.arg(keys::LAYER).and_then(ArgValue::as_f64).expect("layer arg") as usize;
+            assert_eq!(layer_idx, rep.index);
+            assert_eq!(span.arg(keys::KIND).and_then(ArgValue::as_str), Some(rep.kind.as_str()));
+        }
+        // Conv layers carry kernel sub-spans named after the algorithm.
+        assert!(spans.iter().any(|s| s.depth == 2 && s.name == Algo::Gemm3.name()));
     }
 
     #[test]

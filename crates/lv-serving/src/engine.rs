@@ -19,6 +19,7 @@
 //! requests arriving at a full queue are rejected on the spot
 //! ([`crate::metrics::DropReason::QueueFull`]).
 
+use lv_trace::{Tracer, TrackId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -180,7 +181,40 @@ impl ServingEngine {
     /// Run the simulation to completion (all arrivals either served or
     /// dropped) and report.
     pub fn run(&self) -> EngineReport {
+        self.run_traced(&Tracer::disabled(), 0)
+    }
+
+    /// [`ServingEngine::run`], emitting request-lifecycle trace events into
+    /// `tracer` under Chrome-trace process id `pid`.
+    ///
+    /// The event vocabulary, all timestamped in microseconds of simulated
+    /// wall time:
+    ///
+    /// * per admitted request, async-nestable phases correlated by arrival
+    ///   sequence number: `request` (arrival → completion or shed)
+    ///   containing `queue` (arrival → dispatch), then `batch` and
+    ///   `execute` (dispatch → completion); queue-full rejections never
+    ///   open a phase and appear only as drop instants;
+    /// * per executed batch, a complete span on the owning replica's track
+    ///   carrying `batch_size` / `service_s` args;
+    /// * `drop:queue_full` / `drop:deadline` instants on a drops track;
+    /// * a `queue_depth` counter sampled at every depth transition.
+    ///
+    /// With a disabled tracer this is exactly [`ServingEngine::run`]: the
+    /// simulation consumes no trace state and the report is identical.
+    pub fn run_traced(&self, tracer: &Tracer, pid: u64) -> EngineReport {
         let c = &self.cfg;
+        let trace = tracer.is_enabled();
+        let queue_track = TrackId::new(pid, 0);
+        let drops_track = TrackId::new(pid, 1);
+        if trace {
+            tracer.name_process(pid, "serving-engine");
+            tracer.name_track(queue_track, "admission queue");
+            tracer.name_track(drops_track, "drops");
+            for ri in 0..c.replicas {
+                tracer.name_track(TrackId::new(pid, 2 + ri as u64), &format!("replica {ri}"));
+            }
+        }
         let mut rng = StdRng::seed_from_u64(c.seed);
         let total_weight: f64 = c.classes.iter().map(|cl| cl.weight).sum();
 
@@ -204,7 +238,8 @@ impl ServingEngine {
         // Arrival generator: exponential inter-arrival, weighted class pick.
         let mut t_arr = 0.0f64;
         let mut remaining = c.requests;
-        let gen_arrival = |rng: &mut StdRng, t_arr: &mut f64| -> QueuedRequest {
+        let mut issued = 0u64;
+        let gen_arrival = |rng: &mut StdRng, t_arr: &mut f64, issued: &mut u64| -> QueuedRequest {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             *t_arr += -u.ln() / c.arrival_rate;
             let class = if c.classes.len() == 1 {
@@ -221,12 +256,19 @@ impl ServingEngine {
                 }
                 idx
             };
-            QueuedRequest { arrival_s: *t_arr, class, unit_cost_s: c.classes[class].unit_cost_s }
+            let id = *issued;
+            *issued += 1;
+            QueuedRequest {
+                id,
+                arrival_s: *t_arr,
+                class,
+                unit_cost_s: c.classes[class].unit_cost_s,
+            }
         };
 
         let mut next_arrival: Option<QueuedRequest> = if remaining > 0 {
             remaining -= 1;
-            Some(gen_arrival(&mut rng, &mut t_arr))
+            Some(gen_arrival(&mut rng, &mut t_arr, &mut issued))
         } else {
             None
         };
@@ -260,14 +302,30 @@ impl ServingEngine {
                     // Process the arrival.
                     let arr = *arr;
                     last_arrival = arr.arrival_s;
+                    let t_us = arr.arrival_s * 1e6;
                     if queue.try_admit(arr) {
                         series.note_depth(arr.arrival_s, queue.len());
+                        if trace {
+                            let class_name = c.classes[arr.class].name.as_str();
+                            tracer.async_begin(
+                                pid,
+                                arr.id,
+                                "request",
+                                t_us,
+                                vec![("class".into(), class_name.into())],
+                            );
+                            tracer.async_begin(pid, arr.id, "queue", t_us, vec![]);
+                            tracer.counter(queue_track, "queue_depth", t_us, queue.len() as f64);
+                        }
                     } else {
                         drops.record(DropReason::QueueFull);
+                        if trace {
+                            tracer.instant(drops_track, "drop:queue_full", t_us, vec![]);
+                        }
                     }
                     next_arrival = if remaining > 0 {
                         remaining -= 1;
-                        Some(gen_arrival(&mut rng, &mut t_arr))
+                        Some(gen_arrival(&mut rng, &mut t_arr, &mut issued))
                     } else {
                         None
                     };
@@ -276,10 +334,19 @@ impl ServingEngine {
                     // Shed queued work whose deadline passed before `d`.
                     let shed = queue.shed_expired(d);
                     if !shed.is_empty() {
-                        for _ in &shed {
+                        let d_us = d * 1e6;
+                        for r in &shed {
                             drops.record(DropReason::DeadlineExceeded);
+                            if trace {
+                                tracer.async_end(pid, r.id, "queue", d_us);
+                                tracer.instant(drops_track, "drop:deadline", d_us, vec![]);
+                                tracer.async_end(pid, r.id, "request", d_us);
+                            }
                         }
                         series.note_depth(d, queue.len());
+                        if trace {
+                            tracer.counter(queue_track, "queue_depth", d_us, queue.len() as f64);
+                        }
                         continue; // head changed — re-evaluate the trigger
                     }
                     let batch = queue.pop_batch(c.batch.max_batch);
@@ -295,6 +362,35 @@ impl ServingEngine {
                     series.add_busy(d, done);
                     batches += 1;
                     batched_requests += batch.len() as u64;
+                    if trace {
+                        let (d_us, done_us) = (d * 1e6, done * 1e6);
+                        let replica_track = TrackId::new(pid, 2 + ri as u64);
+                        let span = tracer.begin_args(
+                            replica_track,
+                            &format!("batch x{}", batch.len()),
+                            d_us,
+                            vec![
+                                ("batch_size".into(), (batch.len() as u64).into()),
+                                ("service_s".into(), svc.into()),
+                            ],
+                        );
+                        tracer.end(span, done_us);
+                        for r in &batch {
+                            tracer.async_end(pid, r.id, "queue", d_us);
+                            tracer.async_begin(
+                                pid,
+                                r.id,
+                                "batch",
+                                d_us,
+                                vec![("replica".into(), (ri as u64).into())],
+                            );
+                            tracer.async_begin(pid, r.id, "execute", d_us, vec![]);
+                            tracer.async_end(pid, r.id, "execute", done_us);
+                            tracer.async_end(pid, r.id, "batch", done_us);
+                            tracer.async_end(pid, r.id, "request", done_us);
+                        }
+                        tracer.counter(queue_track, "queue_depth", d_us, queue.len() as f64);
+                    }
                     for r in &batch {
                         latencies.record(done - r.arrival_s);
                     }
@@ -478,6 +574,72 @@ mod tests {
         for s in &rep.series {
             assert!((0.0..=1.0).contains(&s.utilization), "util {}", s.utilization);
             assert!(s.mean_queue_depth >= 0.0);
+        }
+    }
+
+    /// The engine is a pure discrete-event simulation (no address-keyed
+    /// state), so a traced run must reproduce the untraced report exactly,
+    /// and the emitted lifecycle events must account for every arrival.
+    #[test]
+    fn traced_run_matches_untraced_and_events_balance() {
+        use lv_trace::PointEvent;
+        let cfg = EngineConfig {
+            queue_capacity: 32,
+            deadline_s: Some(0.015),
+            batch: BatchPolicy::new(4, 0.002),
+            batch_setup_frac: 0.5,
+            ..base(1500.0)
+        };
+        let plain = ServingEngine::new(cfg.clone()).unwrap().run();
+        let tracer = Tracer::enabled();
+        let traced = ServingEngine::new(cfg).unwrap().run_traced(&tracer, 7);
+
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.drops, traced.drops);
+        assert_eq!(plain.latency.p50_s, traced.latency.p50_s);
+        assert_eq!(plain.latency.p99_s, traced.latency.p99_s);
+        assert_eq!(plain.max_queue_depth, traced.max_queue_depth);
+        assert!(plain.drops.queue_full > 0, "config must exercise backpressure");
+        assert!(plain.drops.deadline_exceeded > 0, "config must exercise shedding");
+
+        // Every admitted request's phases balance; drops match the report.
+        let mut begins = std::collections::HashMap::<(u64, String), u64>::new();
+        let mut ends = std::collections::HashMap::<(u64, String), u64>::new();
+        let (mut queue_full, mut deadline) = (0u64, 0u64);
+        for p in tracer.snapshot_points() {
+            match p {
+                PointEvent::AsyncBegin { id, name, .. } => {
+                    *begins.entry((id, name)).or_default() += 1;
+                }
+                PointEvent::AsyncEnd { id, name, .. } => {
+                    *ends.entry((id, name)).or_default() += 1;
+                }
+                PointEvent::Instant { name, .. } if name == "drop:queue_full" => queue_full += 1,
+                PointEvent::Instant { name, .. } if name == "drop:deadline" => deadline += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(begins, ends, "every async phase must be closed");
+        assert_eq!(queue_full, plain.drops.queue_full);
+        assert_eq!(deadline, plain.drops.deadline_exceeded);
+        let request_begins: u64 =
+            begins.iter().filter(|((_, n), _)| n == "request").map(|(_, c)| c).sum();
+        let execute_begins: u64 =
+            begins.iter().filter(|((_, n), _)| n == "execute").map(|(_, c)| c).sum();
+        assert_eq!(request_begins, plain.completed as u64 + deadline);
+        assert_eq!(execute_begins, plain.completed as u64);
+
+        // Batch spans on replica tracks account for every completion.
+        let spans = tracer.snapshot_spans();
+        let total_batched: f64 = spans
+            .iter()
+            .filter(|s| s.name.starts_with("batch x"))
+            .map(|s| s.arg("batch_size").and_then(|v| v.as_f64()).expect("batch_size arg"))
+            .sum();
+        assert_eq!(total_batched as usize, plain.completed);
+        for s in &spans {
+            assert!(s.track.pid == 7 && s.track.tid >= 2, "batch spans live on replica tracks");
+            assert!(s.dur_us() > 0.0);
         }
     }
 

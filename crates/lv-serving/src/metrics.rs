@@ -64,6 +64,15 @@ impl LatencyHistogram {
         self.samples.is_empty()
     }
 
+    /// Fold another histogram's samples into this one, as if every latency
+    /// in `other` had been recorded here directly. Exact: because the
+    /// histogram keeps raw samples, merged percentiles equal the
+    /// percentiles of one globally-recorded histogram — per-replica
+    /// histograms combine without re-recording.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Summarise. Zero samples yield an all-zero summary instead of
     /// panicking (an overloaded run can drop every request).
     pub fn summary(&self) -> LatencySummary {
@@ -281,6 +290,32 @@ mod tests {
         assert_eq!(s.p99_s, 99.0);
         assert_eq!(s.max_s, 100.0);
         assert!((s.mean_s - 50.5).abs() < 1e-12);
+    }
+
+    /// Sharding latencies across per-replica histograms and merging must
+    /// reproduce the globally-recorded summary exactly — percentiles are
+    /// order statistics of the union, not an approximation.
+    #[test]
+    fn merged_shards_match_global_percentiles() {
+        let mut global = LatencyHistogram::new();
+        let mut shards = vec![LatencyHistogram::new(); 4];
+        // Deterministic but scrambled sample stream (multiplicative hash).
+        for i in 0..1000u64 {
+            let v = ((i * 2654435761) % 997) as f64 * 1e-3;
+            global.record(v);
+            shards[(i % 4) as usize].record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        let (g, m) = (global.summary(), merged.summary());
+        assert_eq!(m.count, g.count);
+        assert_eq!(m.p50_s, g.p50_s);
+        assert_eq!(m.p95_s, g.p95_s);
+        assert_eq!(m.p99_s, g.p99_s);
+        assert_eq!(m.max_s, g.max_s);
+        assert!((m.mean_s - g.mean_s).abs() < 1e-12);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::collections::VecDeque;
 /// A request waiting for service.
 #[derive(Debug, Clone, Copy)]
 pub struct QueuedRequest {
+    /// Arrival sequence number, used to correlate lifecycle trace events.
+    pub id: u64,
     /// Arrival time in seconds.
     pub arrival_s: f64,
     /// Index into the engine's request-class table.
@@ -102,7 +104,7 @@ mod tests {
     use super::*;
 
     fn req(arrival_s: f64) -> QueuedRequest {
-        QueuedRequest { arrival_s, class: 0, unit_cost_s: 0.01 }
+        QueuedRequest { id: 0, arrival_s, class: 0, unit_cost_s: 0.01 }
     }
 
     #[test]

@@ -166,6 +166,14 @@ impl MachineConfig {
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.freq_ghz * 1e9)
     }
+
+    /// Peak DRAM bandwidth in bytes/cycle: the 12.8 GiB/s channel the
+    /// `mem_line` cost is calibrated against (see [`CostModel::mem_line`]),
+    /// divided by the configured clock. Basis for the bandwidth-utilisation
+    /// figures in verify/roofline outputs.
+    pub fn peak_dram_bytes_per_cycle(&self) -> f64 {
+        12.8e9 / (self.freq_ghz * 1e9)
+    }
 }
 
 impl Default for MachineConfig {

@@ -45,3 +45,6 @@ pub use cache::Cache;
 pub use config::{CacheGeometry, CostModel, MachineConfig, VpuStyle, KIB, MIB};
 pub use machine::{Machine, VReg, NUM_VREGS};
 pub use stats::Stats;
+
+// Re-exported so instrumented downstream crates name one tracing API.
+pub use lv_trace::{Tracer, TrackId};

@@ -14,6 +14,8 @@
 //! Host slice addresses double as simulated physical addresses, so cache
 //! behaviour reflects the kernels' true access patterns and footprints.
 
+use lv_trace::{keys, SpanId, Tracer, TrackId};
+
 use crate::cache::Cache;
 use crate::config::{CostModel, MachineConfig, VpuStyle};
 use crate::stats::Stats;
@@ -41,6 +43,14 @@ pub struct Machine {
     /// Optional L2 access trace: `(cycle, line)` per L2 access, for the
     /// shared-cache contention replay (`lv-serving`).
     l2_trace: Option<Vec<(u64, u64)>>,
+    /// Span tracer; disabled by default so the cycle model's hot path pays
+    /// a single branch. Timestamps are simulated cycles (1 trace-µs/cycle).
+    tracer: Tracer,
+    /// The `(pid, tid)` this machine's regions land on.
+    trace_track: TrackId,
+    /// Open region spans with the stats snapshot at their begin, so the
+    /// delta can be attached at end.
+    region_stack: Vec<(SpanId, Stats)>,
 }
 
 impl Machine {
@@ -58,8 +68,76 @@ impl Machine {
             stats: Stats::default(),
             epc: cfg.elems_per_cycle() as u64,
             l2_trace: None,
+            tracer: Tracer::disabled(),
+            trace_track: TrackId::new(1, 0),
+            region_stack: Vec::new(),
             cfg,
         }
+    }
+
+    // ------------------------------------------------------------- tracing
+
+    /// Attach a span tracer; the machine's regions land on `track` with
+    /// timestamps in simulated cycles (1 trace-µs ≡ 1 cycle). Tracing never
+    /// charges cycles or touches [`Stats`], so counted results are
+    /// bit-identical with tracing on or off.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = tracer;
+        self.trace_track = track;
+    }
+
+    /// The attached tracer (disabled unless [`Machine::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Whether an enabled tracer is attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Open a traced region (kernel, layer, network) at the current cycle.
+    /// A no-op without an enabled tracer.
+    pub fn region_begin(&mut self, name: &str) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let before = self.stats();
+        let span = self.tracer.begin(self.trace_track, name, self.stats.cycles as f64);
+        self.region_stack.push((span, before));
+    }
+
+    /// Close the innermost open region, attaching the region's [`Stats`]
+    /// delta (cycles, FLOPs, DRAM bytes, avg-VL, miss rates) plus `extra`
+    /// arguments to its span. A no-op without an enabled tracer.
+    pub fn region_end_with(&mut self, extra: lv_trace::Args) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let Some((span, before)) = self.region_stack.pop() else { return };
+        let delta = self.stats().delta_since(&before);
+        let line_bytes = self.cfg.l2.line_bytes;
+        let mut args: lv_trace::Args = vec![
+            (keys::CYCLES.to_string(), delta.cycles.into()),
+            (keys::FLOPS.to_string(), delta.flops.into()),
+            (keys::DRAM_BYTES.to_string(), delta.dram_bytes(line_bytes).into()),
+            (keys::AVG_VL.to_string(), delta.avg_vl().into()),
+            (keys::L1_MISS_RATE.to_string(), delta.l1_miss_rate().into()),
+            (keys::L2_MISS_RATE.to_string(), delta.l2_miss_rate().into()),
+            (keys::VECTOR_INSTRS.to_string(), delta.vector_instrs.into()),
+            (
+                keys::BW_UTIL.to_string(),
+                (delta.dram_bytes_per_cycle(line_bytes) / self.cfg.peak_dram_bytes_per_cycle())
+                    .into(),
+            ),
+        ];
+        args.extend(extra);
+        self.tracer.end_args(span, self.stats.cycles as f64, args);
+    }
+
+    /// [`Machine::region_end_with`] without extra arguments.
+    pub fn region_end(&mut self) {
+        self.region_end_with(Vec::new());
     }
 
     /// Start recording every L2 access as a `(cycle, line)` pair. Used by
@@ -846,6 +924,83 @@ mod tests {
         let mut m = mk(512); // 16 elems
         assert_eq!(m.vsetvl(100), 16);
         assert_eq!(m.vsetvl(7), 7);
+    }
+
+    /// One vector axpy pass, used by the tracing tests.
+    fn axpy(m: &mut Machine) {
+        let src: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let mut dst = vec![0.0f32; 256];
+        let mut i = 0;
+        while i < src.len() {
+            let vl = m.vsetvl(src.len() - i);
+            m.vle32(VReg(0), &src[i..]);
+            m.vfmv_v_f(VReg(1), 0.5);
+            m.vfmacc_vf(VReg(1), 2.0, VReg(0));
+            m.vse32(VReg(1), &mut dst[i..]);
+            i += vl;
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_counted_work() {
+        let mut plain = mk(512);
+        axpy(&mut plain);
+
+        let mut traced = mk(512);
+        traced.set_tracer(Tracer::enabled(), TrackId::new(1, 0));
+        traced.region_begin("axpy");
+        axpy(&mut traced);
+        traced.region_end();
+
+        // Compare the address-independent counters: the cache model keys on
+        // host heap addresses, so the tracer's own allocations may legally
+        // shift hit/miss timing between two in-process runs. A machine with
+        // a *disabled* tracer allocates nothing, so whole processes stay
+        // bit-identical with tracing off.
+        let (p, t) = (plain.stats(), traced.stats());
+        assert_eq!(p.flops, t.flops, "tracing must be invisible to counted work");
+        assert_eq!(p.vector_instrs, t.vector_instrs);
+        assert_eq!(p.vector_elems, t.vector_elems);
+        assert_eq!(p.vsetvls, t.vsetvls);
+        assert_eq!(p.scalar_ops, t.scalar_ops);
+    }
+
+    #[test]
+    fn region_spans_carry_stats_deltas() {
+        let mut m = mk(512);
+        let tracer = Tracer::enabled();
+        m.set_tracer(tracer.clone(), TrackId::new(1, 0));
+        m.region_begin("outer");
+        m.region_begin("axpy");
+        axpy(&mut m);
+        m.region_end();
+        m.region_end_with(vec![(keys::KIND.to_string(), "test".into())]);
+
+        let spans = tracer.snapshot_spans();
+        assert_eq!(spans.len(), 2);
+        let (outer, inner) = (&spans[0], &spans[1]);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.name, "axpy");
+        // Span duration is exactly the cycles the region charged.
+        let cyc = |s: &lv_trace::FinishedSpan| {
+            s.arg(keys::CYCLES).and_then(lv_trace::ArgValue::as_f64).unwrap()
+        };
+        assert_eq!(inner.dur_us(), cyc(inner));
+        assert_eq!(outer.dur_us(), cyc(outer));
+        assert_eq!(cyc(outer), m.cycles() as f64);
+        assert!(inner.arg(keys::FLOPS).is_some());
+        assert!(inner.arg(keys::DRAM_BYTES).is_some());
+        assert_eq!(outer.arg(keys::KIND).and_then(lv_trace::ArgValue::as_str), Some("test"));
+    }
+
+    #[test]
+    fn regions_without_tracer_are_noops() {
+        let mut m = mk(512);
+        m.region_begin("ignored");
+        axpy(&mut m);
+        m.region_end();
+        assert!(!m.trace_enabled());
+        assert!(m.tracer().snapshot_spans().is_empty());
     }
 
     #[test]

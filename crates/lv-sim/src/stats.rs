@@ -91,6 +91,59 @@ impl Stats {
             l2_misses: self.l2_misses - earlier.l2_misses,
         }
     }
+
+    /// Field-wise accumulation, the counterpart to [`Stats::delta_since`]:
+    /// merging a region delta back into a running total (span aggregation,
+    /// multi-kernel roll-ups). `a.delta_since(&b)` merged into `b` is `a`.
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.vector_instrs += other.vector_instrs;
+        self.vector_elems += other.vector_elems;
+        self.flops += other.flops;
+        self.vsetvls += other.vsetvls;
+        self.scalar_ops += other.scalar_ops;
+        self.mem_lines += other.mem_lines;
+        self.prefetch_lines += other.prefetch_lines;
+        self.l1_accesses += other.l1_accesses;
+        self.l1_misses += other.l1_misses;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+    }
+
+    /// Bytes moved from main memory (demand + software-prefetch lines).
+    pub fn dram_bytes(&self, line_bytes: usize) -> u64 {
+        (self.mem_lines + self.prefetch_lines) * line_bytes as u64
+    }
+
+    /// Achieved DRAM bandwidth in bytes/cycle over the counted interval.
+    pub fn dram_bytes_per_cycle(&self, line_bytes: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dram_bytes(line_bytes) as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl std::ops::Add for Stats {
+    type Output = Stats;
+
+    fn add(mut self, rhs: Stats) -> Stats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Stats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for Stats {
+    fn sum<I: Iterator<Item = Stats>>(iter: I) -> Stats {
+        iter.fold(Stats::default(), |acc, s| acc + s)
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +162,41 @@ mod tests {
         let d = b.delta_since(&a);
         assert_eq!(d.cycles, 15);
         assert_eq!(d.flops, 5);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_and_inverts_delta() {
+        let base = Stats { cycles: 10, flops: 4, mem_lines: 3, l1_misses: 1, ..Default::default() };
+        let later =
+            Stats { cycles: 25, flops: 9, mem_lines: 8, l1_misses: 5, ..Default::default() };
+        let delta = later.delta_since(&base);
+        let mut rebuilt = base;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, later);
+    }
+
+    #[test]
+    fn add_and_sum_match_merge() {
+        let a = Stats { cycles: 1, vector_instrs: 2, vector_elems: 32, ..Default::default() };
+        let b = Stats { cycles: 4, vector_instrs: 1, vector_elems: 8, ..Default::default() };
+        let via_add = a + b;
+        let mut via_assign = a;
+        via_assign += b;
+        assert_eq!(via_add, via_assign);
+        assert_eq!(via_add.cycles, 5);
+        assert_eq!(via_add.vector_elems, 40);
+        let via_sum: Stats = [a, b].into_iter().sum();
+        assert_eq!(via_sum, via_add);
+        // Aggregated avg-VL weights by instruction count: (32+8)/(2+1).
+        assert!((via_sum.avg_vl() - 40.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_bytes_counts_demand_and_prefetch() {
+        let s = Stats { cycles: 128, mem_lines: 6, prefetch_lines: 2, ..Default::default() };
+        assert_eq!(s.dram_bytes(64), 512);
+        assert!((s.dram_bytes_per_cycle(64) - 4.0).abs() < 1e-12);
+        assert_eq!(Stats::default().dram_bytes_per_cycle(64), 0.0);
     }
 
     #[test]

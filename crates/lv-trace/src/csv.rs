@@ -1,0 +1,106 @@
+//! Flat CSV dump of spans, counters and instants — the long-format
+//! counterpart to the Chrome JSON, convenient for spreadsheet or pandas
+//! post-processing. One row per (event, attached argument); events without
+//! arguments emit a single row with an empty key.
+
+use std::fmt::Write as _;
+
+use crate::{ArgValue, PointEvent, Tracer};
+
+/// CSV header line.
+pub const HEADER: &str = "pid,tid,kind,name,start_us,dur_us,key,value";
+
+/// Render `tracer`'s spans and points as long-format CSV.
+pub fn export(tracer: &Tracer) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+
+    for s in tracer.snapshot_spans() {
+        let base = format!(
+            "{},{},span,{},{},{}",
+            s.track.pid,
+            s.track.tid,
+            csv_field(&s.name),
+            s.start_us,
+            s.dur_us()
+        );
+        if s.args.is_empty() {
+            let _ = writeln!(out, "{base},,");
+        }
+        for (k, v) in &s.args {
+            let _ = writeln!(out, "{base},{},{}", csv_field(k), csv_value(v));
+        }
+    }
+
+    for p in tracer.snapshot_points() {
+        match p {
+            PointEvent::Counter { track, name, ts_us, value } => {
+                let _ = writeln!(
+                    out,
+                    "{},{},counter,{},{ts_us},0,value,{value}",
+                    track.pid,
+                    track.tid,
+                    csv_field(&name)
+                );
+            }
+            PointEvent::Instant { track, name, ts_us, args } => {
+                let base =
+                    format!("{},{},instant,{},{ts_us},0", track.pid, track.tid, csv_field(&name));
+                if args.is_empty() {
+                    let _ = writeln!(out, "{base},,");
+                }
+                for (k, v) in &args {
+                    let _ = writeln!(out, "{base},{},{}", csv_field(k), csv_value(v));
+                }
+            }
+            // Async phases are a JSON-viewer concept; the CSV dump keeps to
+            // synchronous spans and samples.
+            PointEvent::AsyncBegin { .. } | PointEvent::AsyncEnd { .. } => {}
+        }
+    }
+    out
+}
+
+fn csv_value(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(n) => format!("{n}"),
+        ArgValue::F64(x) => format!("{x}"),
+        ArgValue::Str(s) => csv_field(s),
+    }
+}
+
+/// Quote a field iff it contains a comma, quote or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrackId;
+
+    #[test]
+    fn spans_and_counters_dump_as_rows() {
+        let t = Tracer::enabled();
+        let track = TrackId::new(0, 0);
+        let a = t.begin_args(track, "conv", 0.0, vec![("cycles".into(), 10u64.into())]);
+        t.end(a, 10.0);
+        t.counter(track, "queue", 5.0, 3.0);
+        let csv = export(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], HEADER);
+        assert_eq!(lines[1], "0,0,span,conv,0,10,cycles,10");
+        assert_eq!(lines[2], "0,0,counter,queue,5,0,value,3");
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+}

@@ -1,0 +1,112 @@
+//! ASCII "top spans" self-time report: spans aggregated by name, ranked
+//! by self time (duration minus time in child spans), perf-report style.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::Tracer;
+
+/// Per-name aggregate over a trace.
+#[derive(Debug, Clone, Default)]
+pub struct NameAgg {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: usize,
+    /// Sum of durations in trace-µs.
+    pub total_us: f64,
+    /// Sum of self times (duration minus direct children) in trace-µs.
+    pub self_us: f64,
+}
+
+/// Aggregate the trace's spans by name, sorted by descending self time.
+pub fn aggregate(tracer: &Tracer) -> Vec<NameAgg> {
+    let mut by_name: HashMap<String, NameAgg> = HashMap::new();
+    for s in tracer.snapshot_spans() {
+        let agg = by_name.entry(s.name.clone()).or_default();
+        agg.name = s.name.clone();
+        agg.count += 1;
+        agg.total_us += s.dur_us();
+        agg.self_us += s.self_us();
+    }
+    let mut aggs: Vec<NameAgg> = by_name.into_values().collect();
+    aggs.sort_by(|a, b| b.self_us.partial_cmp(&a.self_us).unwrap_or(std::cmp::Ordering::Equal));
+    aggs
+}
+
+/// Render the top-`top` spans by self time as an aligned ASCII table.
+pub fn self_time(tracer: &Tracer, top: usize) -> String {
+    let aggs = aggregate(tracer);
+    let grand_self: f64 = aggs.iter().map(|a| a.self_us).sum();
+    let mut out = String::from("top spans by self time (trace-us):\n");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>14} {:>14} {:>7}",
+        "name", "count", "total_us", "self_us", "self%"
+    );
+    for a in aggs.iter().take(top) {
+        let pct = if grand_self > 0.0 { 100.0 * a.self_us / grand_self } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>14.1} {:>14.1} {:>6.1}%",
+            truncate(&a.name, 28),
+            a.count,
+            a.total_us,
+            a.self_us,
+            pct
+        );
+    }
+    if aggs.len() > top {
+        let _ = writeln!(out, "... {} more span names", aggs.len() - top);
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(2)).collect();
+        format!("{cut}..")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tracer, TrackId};
+
+    #[test]
+    fn self_time_excludes_children_and_ranks() {
+        let t = Tracer::enabled();
+        let track = TrackId::new(0, 0);
+        let outer = t.begin(track, "outer", 0.0);
+        let inner = t.begin(track, "inner", 10.0);
+        t.end(inner, 90.0);
+        t.end(outer, 100.0);
+
+        let aggs = aggregate(&t);
+        assert_eq!(aggs[0].name, "inner"); // 80 self vs outer's 20
+        assert_eq!(aggs[0].self_us, 80.0);
+        assert_eq!(aggs[1].self_us, 20.0);
+        assert_eq!(aggs[1].total_us, 100.0);
+
+        let rendered = self_time(&t, 10);
+        assert!(rendered.contains("inner"));
+        assert!(rendered.contains("outer"));
+    }
+
+    #[test]
+    fn repeated_names_accumulate() {
+        let t = Tracer::enabled();
+        let track = TrackId::new(0, 0);
+        for i in 0..3 {
+            let s = t.begin(track, "kernel", i as f64 * 10.0);
+            t.end(s, i as f64 * 10.0 + 4.0);
+        }
+        let aggs = aggregate(&t);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].count, 3);
+        assert_eq!(aggs[0].total_us, 12.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property test: arbitrary span open/close sequences always produce a
+//! balanced, properly nested trace — every span closed, children strictly
+//! contained in their parents, and the Chrome export valid JSON.
+
+use proptest::prelude::*;
+
+use lv_trace::{json, FinishedSpan, Tracer, TrackId};
+
+/// One scripted tracer action.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Open a span on a track at a timestamp.
+    Begin { track: u8, ts: u32 },
+    /// End the n-th opened span (mod number opened so far) at a timestamp.
+    End { which: u8, ts: u32 },
+    /// Bump `max_ts` via an instant event.
+    Instant { track: u8, ts: u32 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..3, 0u32..1000).prop_map(|(track, ts)| Action::Begin { track, ts }),
+        (any::<u8>(), 0u32..1000).prop_map(|(which, ts)| Action::End { which, ts }),
+        (0u8..3, 0u32..1000).prop_map(|(track, ts)| Action::Instant { track, ts }),
+    ]
+}
+
+fn run_script(script: &[Action]) -> Tracer {
+    let tracer = Tracer::enabled();
+    let mut handles = Vec::new();
+    for a in script {
+        match a {
+            Action::Begin { track, ts } => {
+                let id = tracer.begin(
+                    TrackId::new(0, *track as u64),
+                    &format!("s{}", handles.len()),
+                    *ts as f64,
+                );
+                handles.push(id);
+            }
+            Action::End { which, ts } => {
+                if !handles.is_empty() {
+                    let id = handles[*which as usize % handles.len()];
+                    tracer.end(id, *ts as f64);
+                }
+            }
+            Action::Instant { track, ts } => {
+                tracer.instant(TrackId::new(0, *track as u64), "i", *ts as f64, vec![]);
+            }
+        }
+    }
+    tracer
+}
+
+/// Assert the structural invariants on a snapshot: every span closed with
+/// `end >= start`, and on each track spans nest (any two either disjoint
+/// or one containing the other, with depths consistent).
+fn assert_wellformed(spans: &[FinishedSpan]) {
+    for s in spans {
+        assert!(
+            s.end_us >= s.start_us,
+            "span {} ends before it starts: [{}, {}]",
+            s.name,
+            s.start_us,
+            s.end_us
+        );
+        assert!(s.self_us() >= 0.0 && s.self_us() <= s.dur_us() + 1e-9);
+    }
+    // Per-track stack re-simulation: replay spans in begin order and check
+    // each span fits inside whatever is open at its begin time.
+    let mut tracks: std::collections::HashMap<_, Vec<&FinishedSpan>> = Default::default();
+    for s in spans {
+        tracks.entry(s.track).or_default().push(s);
+    }
+    for track_spans in tracks.values() {
+        let mut stack: Vec<&FinishedSpan> = Vec::new();
+        for s in track_spans.iter() {
+            // Pop spans that ended before this one starts (or at the same
+            // instant but shallower-or-equal depth — zero-width nesting).
+            while let Some(top) = stack.last() {
+                if top.end_us < s.start_us || (top.end_us == s.start_us && top.depth >= s.depth) {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(parent) = stack.last() {
+                assert!(
+                    s.start_us >= parent.start_us && s.end_us <= parent.end_us,
+                    "span {} [{}, {}] escapes parent {} [{}, {}]",
+                    s.name,
+                    s.start_us,
+                    s.end_us,
+                    parent.name,
+                    parent.start_us,
+                    parent.end_us
+                );
+                assert_eq!(
+                    s.depth,
+                    parent.depth + 1,
+                    "depth of {} vs parent {}",
+                    s.name,
+                    parent.name
+                );
+            }
+            stack.push(s);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_scripts_stay_balanced_and_nested(
+        script in proptest::collection::vec(action_strategy(), 0..40)
+    ) {
+        let tracer = run_script(&script);
+        let spans = tracer.snapshot_spans();
+        assert_wellformed(&spans);
+
+        // The Chrome export must always parse, and carry one X event per span.
+        let jsonv = json::parse(&tracer.chrome_json()).expect("chrome export is valid JSON");
+        let events = jsonv.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents");
+        let x_events = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        assert_eq!(x_events, spans.len());
+        for e in events {
+            if e.get("ph").and_then(|p| p.as_str()) == Some("X") {
+                let dur = e.get("dur").and_then(|d| d.as_f64()).expect("X has dur");
+                assert!(dur >= 0.0);
+            }
+        }
+    }
+}
