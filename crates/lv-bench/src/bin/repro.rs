@@ -9,7 +9,12 @@
 //! ```
 //! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
 //! selector fig9 fig10 fig11 fig12 serve p1-blocks p1-vl p1-cache p1-lanes
-//! p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify
+//! p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify check
+//!
+//! `check [--seed N] [--deep]` runs the `lv-check` conformance sweep
+//! (every kernel variant against the f64 oracle under derived tolerances,
+//! with the simulator invariant lint enabled), writes the PASS/FAIL table
+//! to `results/check.txt`, and exits non-zero on any violation.
 //!
 //! `serve` runs the saturation sweep of the serving engine (bounded
 //! queue, dynamic batching, selector-driven service times) and writes
@@ -42,10 +47,24 @@ fn main() {
     let cmd = args[0].clone();
     let mut scale = 1.0f64;
     let mut force = false;
+    let mut seed = 42u64;
+    let mut deep = false;
     let mut trace_path: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed requires an unsigned integer");
+                    std::process::exit(2);
+                };
+                seed = v;
+                i += 2;
+            }
+            "--deep" => {
+                deep = true;
+                i += 1;
+            }
             "--scale" => {
                 let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
                     eprintln!("--scale requires a positive number");
@@ -73,13 +92,13 @@ fn main() {
         die_unknown(&format!("unknown experiment: {cmd}"));
     }
     let ctx = if trace_path.is_some() { TraceCtx::enabled() } else { TraceCtx::disabled() };
-    run(&cmd, scale, force, &ctx);
+    run(&cmd, scale, force, seed, deep, &ctx);
     if let Some(path) = trace_path {
         ctx.finish(&path);
     }
 }
 
-fn run(cmd: &str, scale: f64, force: bool, ctx: &TraceCtx) {
+fn run(cmd: &str, scale: f64, force: bool, seed: u64, deep: bool, ctx: &TraceCtx) {
     match cmd {
         "grid" => {
             let rows = grid::ensure_grid("grid", scale, force, true);
@@ -88,6 +107,18 @@ fn run(cmd: &str, scale: f64, force: bool, ctx: &TraceCtx) {
         "p1grid" => {
             let rows = grid::ensure_grid("p1grid", scale, force, true);
             println!("p1grid ready: {} rows", rows.len());
+        }
+        "check" => {
+            let (text, pass) = lv_bench::check::check_text(seed, deep);
+            let dir = grid::results_dir();
+            std::fs::create_dir_all(&dir).ok();
+            let path = dir.join("check.txt");
+            std::fs::write(&path, &text).expect("write results/check.txt");
+            println!("{text}");
+            println!("[saved to {}]", path.display());
+            if !pass {
+                std::process::exit(1);
+            }
         }
         other => lv_bench::figures::run_experiment_traced(other, scale, force, ctx),
     }

@@ -1,0 +1,13 @@
+//! `repro check` — the conformance artifact: runs the `lv-check`
+//! differential sweep (every kernel variant x machine point x shape, with
+//! the simulator invariant lint enabled) and writes the per-cell
+//! PASS/FAIL table to `results/check.txt`. `repro check` exits non-zero
+//! if any cell is over tolerance, so it doubles as a CI gate.
+
+use lv_check::{run_check, CheckConfig};
+
+/// Run the sweep; returns the rendered report and whether it passed.
+pub fn check_text(seed: u64, deep: bool) -> (String, bool) {
+    let report = run_check(&CheckConfig { seed, deep });
+    (report.render(), report.pass())
+}

@@ -91,6 +91,9 @@ pub fn run_experiment_traced(id: &str, scale: f64, force: bool, ctx: &TraceCtx) 
         "ablation-unroll" => ablation_unroll(scale),
         "ablation-contention" => ablation_contention(scale),
         "verify" => crate::verify::render(&crate::verify::verify(scale)),
+        // Default-config sweep; `repro check` accepts --seed/--deep and
+        // propagates the exit code (handled in the binary).
+        "check" => crate::check::check_text(42, false).0,
         "all" => {
             for e in [
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod check;
 pub mod figures;
 pub mod grid;
 pub mod selector;

@@ -60,6 +60,7 @@ pub const ARTIFACTS: &[&str] = &[
     "ablation-unroll",
     "ablation-contention",
     "verify",
+    "check",
     "all",
     "p1-all",
     "ablations",

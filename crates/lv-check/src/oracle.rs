@@ -1,0 +1,175 @@
+//! Golden references with f64 accumulation.
+//!
+//! Unlike the f32 references in `lv-tensor` (which share the kernels'
+//! rounding behaviour and therefore cannot separate "different rounding"
+//! from "wrong answer"), these oracles accumulate every sum in f64. At
+//! the magnitudes the harness uses, the oracle's own error is below
+//! 2^-40 of the f32 kernels' and can be treated as exact.
+//!
+//! Each oracle also returns, per output element, the **absolute
+//! accumulation** `Σ |term|` over exactly the terms that contribute to
+//! that element. This is the magnitude scale of Higham-style summation
+//! error bounds (`|fl(Σ t_i) − Σ t_i| ≤ γ_n Σ |t_i|`), which
+//! [`crate::tolerance`] turns into asserted per-element tolerances.
+
+use lv_tensor::ConvShape;
+
+/// Oracle output: exact (f64) values plus per-element `Σ |term|`.
+pub struct ConvOracle {
+    /// Exact convolution outputs, NCHW.
+    pub out: Vec<f64>,
+    /// Per-element absolute accumulation `Σ |input · weight|`.
+    pub absacc: Vec<f64>,
+}
+
+/// Reference direct convolution: NCHW input, OIHW weights, zero padding,
+/// f64 accumulation.
+pub fn conv2d_f64(s: &ConvShape, input: &[f32], weights: &[f32]) -> ConvOracle {
+    assert_eq!(input.len(), s.input_len());
+    assert_eq!(weights.len(), s.weight_len());
+    let (oh, ow) = (s.oh(), s.ow());
+    let mut out = vec![0.0f64; s.output_len()];
+    let mut absacc = vec![0.0f64; s.output_len()];
+    for oc in 0..s.oc {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f64;
+                let mut aacc = 0.0f64;
+                for ic in 0..s.ic {
+                    for ky in 0..s.kh {
+                        for kx in 0..s.kw {
+                            let iy = (oy * s.stride + ky) as isize - s.pad as isize;
+                            let ix = (ox * s.stride + kx) as isize - s.pad as isize;
+                            if iy < 0 || ix < 0 || iy >= s.ih as isize || ix >= s.iw as isize {
+                                continue;
+                            }
+                            let iv = input[(ic * s.ih + iy as usize) * s.iw + ix as usize] as f64;
+                            let wv = weights[((oc * s.ic + ic) * s.kh + ky) * s.kw + kx] as f64;
+                            acc += iv * wv;
+                            aacc += (iv * wv).abs();
+                        }
+                    }
+                }
+                let o = (oc * oh + oy) * ow + ox;
+                out[o] = acc;
+                absacc[o] = aacc;
+            }
+        }
+    }
+    ConvOracle { out, absacc }
+}
+
+/// Reference depthwise convolution (NCHW, weights `[c][ky][kx]`, "same"
+/// padding `k/2`, matching `lv_conv::depthwise::run_depthwise`).
+pub fn depthwise_f64(
+    channels: usize,
+    hw: usize,
+    k: usize,
+    stride: usize,
+    input: &[f32],
+    weights: &[f32],
+) -> ConvOracle {
+    assert_eq!(input.len(), channels * hw * hw);
+    assert_eq!(weights.len(), channels * k * k);
+    let pad = k / 2;
+    let ohw = (hw + 2 * pad - k) / stride + 1;
+    let mut out = vec![0.0f64; channels * ohw * ohw];
+    let mut absacc = vec![0.0f64; channels * ohw * ohw];
+    for c in 0..channels {
+        for oy in 0..ohw {
+            for ox in 0..ohw {
+                let mut acc = 0.0f64;
+                let mut aacc = 0.0f64;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if iy < 0 || ix < 0 || iy >= hw as isize || ix >= hw as isize {
+                            continue;
+                        }
+                        let iv = input[(c * hw + iy as usize) * hw + ix as usize] as f64;
+                        let wv = weights[(c * k + ky) * k + kx] as f64;
+                        acc += iv * wv;
+                        aacc += (iv * wv).abs();
+                    }
+                }
+                let o = (c * ohw + oy) * ohw + ox;
+                out[o] = acc;
+                absacc[o] = aacc;
+            }
+        }
+    }
+    ConvOracle { out, absacc }
+}
+
+/// Reference im2col in f64: the `K x N` column matrix
+/// (`K = ic·kh·kw`, `N = oh·ow`), zero-filled outside the image. im2col
+/// only *moves* data, so the oracle is exact and the kernels must match
+/// it bit-for-bit.
+pub fn im2col_f64(s: &ConvShape, input: &[f32]) -> Vec<f64> {
+    let (_, k, n) = s.gemm_mkn();
+    let (oh, ow) = (s.oh(), s.ow());
+    let mut col = vec![0.0f64; k * n];
+    for ic in 0..s.ic {
+        for ky in 0..s.kh {
+            for kx in 0..s.kw {
+                let krow = (ic * s.kh + ky) * s.kw + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let iy = (oy * s.stride + ky) as isize - s.pad as isize;
+                        let ix = (ox * s.stride + kx) as isize - s.pad as isize;
+                        if iy < 0 || ix < 0 || iy >= s.ih as isize || ix >= s.iw as isize {
+                            continue;
+                        }
+                        col[krow * n + oy * ow + ox] =
+                            input[(ic * s.ih + iy as usize) * s.iw + ix as usize] as f64;
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_tensor::{conv2d_reference, pseudo_buf};
+
+    #[test]
+    fn f64_oracle_agrees_with_f32_reference() {
+        let s = ConvShape::same_pad(3, 4, 10, 3, 1);
+        let input = pseudo_buf(s.input_len(), 1);
+        let w = pseudo_buf(s.weight_len(), 2);
+        let o = conv2d_f64(&s, &input, &w);
+        let f32_ref = conv2d_reference(&s, &input, &w);
+        for (a, &b) in o.out.iter().zip(f32_ref.iter()) {
+            assert!((a - b as f64).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn absacc_dominates_output_magnitude() {
+        let s = ConvShape::same_pad(2, 3, 8, 3, 2);
+        let input = pseudo_buf(s.input_len(), 3);
+        let w = pseudo_buf(s.weight_len(), 4);
+        let o = conv2d_f64(&s, &input, &w);
+        for (v, a) in o.out.iter().zip(&o.absacc) {
+            assert!(v.abs() <= *a + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fully_padded_elements_are_exactly_zero() {
+        // pad=2 with a 1x1 kernel: the outer ring of outputs reads only
+        // padding.
+        let s = ConvShape { ic: 2, ih: 4, iw: 4, oc: 1, kh: 1, kw: 1, stride: 1, pad: 2 };
+        let input = pseudo_buf(s.input_len(), 5);
+        let w = pseudo_buf(s.weight_len(), 6);
+        let o = conv2d_f64(&s, &input, &w);
+        let (oh, ow) = (s.oh(), s.ow());
+        assert_eq!(o.out[0], 0.0);
+        assert_eq!(o.absacc[0], 0.0);
+        assert_eq!(o.out[oh * ow - 1], 0.0);
+    }
+}

@@ -29,5 +29,6 @@ pub mod zoo;
 pub use measure::{best_algo, measure_all_algos, measure_layer, LayerMeasurement};
 pub use model::{Activation, Layer, LayerKind, Model, ModelBuilder};
 pub use runner::{
-    effective_algo, generate_weights, run_network, LayerReport, NetWeights, NetworkReport,
+    effective_algo, generate_weights, network_input, run_network, run_network_captured,
+    LayerReport, NetWeights, NetworkReport,
 };

@@ -102,6 +102,11 @@ impl NetworkReport {
     }
 }
 
+/// The deterministic input image every network run starts from.
+pub fn network_input(model: &Model) -> AlignedVec {
+    pseudo_buf(model.in_c * model.in_h * model.in_w, 7)
+}
+
 /// Run a full inference. `assign` gives the requested algorithm per conv
 /// layer (by conv ordinal); Winograd falls back per layer as in the paper.
 /// Returns the per-layer report; activations are deterministic.
@@ -111,13 +116,27 @@ pub fn run_network(
     assign: &[Algo],
     weights: &NetWeights,
 ) -> NetworkReport {
+    run_network_captured(m, model, assign, weights).0
+}
+
+/// [`run_network`], additionally returning every layer's activation
+/// tensor (by layer index). The conformance tests use this to compare
+/// each layer against the f64 oracle applied to the *captured* previous
+/// activation, so a divergence is pinned to the first offending layer
+/// instead of compounding through the network.
+pub fn run_network_captured(
+    m: &mut Machine,
+    model: &Model,
+    assign: &[Algo],
+    weights: &NetWeights,
+) -> (NetworkReport, Vec<AlignedVec>) {
     assert_eq!(assign.len(), model.conv_count(), "one algorithm per conv layer required");
     let trace = m.trace_enabled();
     if trace {
         m.region_begin(&format!("network:{}", model.name));
     }
     let mut outputs: Vec<AlignedVec> = Vec::with_capacity(model.layers.len());
-    let input = pseudo_buf(model.in_c * model.in_h * model.in_w, 7);
+    let input = network_input(model);
     let mut reports = Vec::with_capacity(model.layers.len());
     let mut conv_i = 0usize;
     let mut fc_i = 0usize;
@@ -205,7 +224,10 @@ pub fn run_network(
     }
     let total_cycles = reports.iter().map(|r| r.cycles).sum();
     let conv_cycles = reports.iter().filter(|r| r.kind == "conv").map(|r| r.cycles).sum();
-    NetworkReport { model: model.name.clone(), layers: reports, total_cycles, conv_cycles }
+    (
+        NetworkReport { model: model.name.clone(), layers: reports, total_cycles, conv_cycles },
+        outputs,
+    )
 }
 
 fn kind_name(k: &LayerKind) -> &'static str {

@@ -38,11 +38,13 @@
 
 mod cache;
 mod config;
+pub mod lint;
 mod machine;
 mod stats;
 
 pub use cache::Cache;
 pub use config::{CacheGeometry, CostModel, MachineConfig, VpuStyle, KIB, MIB};
+pub use lint::LintState;
 pub use machine::{Machine, VReg, NUM_VREGS};
 pub use stats::Stats;
 

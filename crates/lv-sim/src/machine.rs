@@ -18,6 +18,7 @@ use lv_trace::{keys, SpanId, Tracer, TrackId};
 
 use crate::cache::Cache;
 use crate::config::{CostModel, MachineConfig, VpuStyle};
+use crate::lint::LintState;
 use crate::stats::Stats;
 
 /// Handle to one of the 32 architectural vector registers.
@@ -51,6 +52,10 @@ pub struct Machine {
     /// Open region spans with the stats snapshot at their begin, so the
     /// delta can be attached at end.
     region_stack: Vec<(SpanId, Stats)>,
+    /// Opt-in invariant checker (see [`crate::lint`]); `None` (the
+    /// default) costs one predictable branch per operation and leaves
+    /// timing and results bit-identical to a lint-free build.
+    lint: Option<Box<LintState>>,
 }
 
 impl Machine {
@@ -71,7 +76,52 @@ impl Machine {
             tracer: Tracer::disabled(),
             trace_track: TrackId::new(1, 0),
             region_stack: Vec::new(),
+            lint: None,
             cfg,
+        }
+    }
+
+    // ---------------------------------------------------------------- lint
+
+    /// Arm the machine invariant checker. Every subsequent operation
+    /// validates cycle monotonicity, the `vsetvl` grant contract, cache /
+    /// DRAM accounting reconciliation and uninitialized-lane reads,
+    /// panicking with context on the first violation. The lint never
+    /// charges cycles or touches [`Stats`], so cycle counts are identical
+    /// with it on or off.
+    pub fn enable_lint(&mut self) {
+        self.lint = Some(Box::new(LintState::new()));
+    }
+
+    /// The armed invariant checker, if any (tests use
+    /// [`LintState::checks`] to assert the lint actually ran).
+    pub fn lint(&self) -> Option<&LintState> {
+        self.lint.as_deref()
+    }
+
+    #[inline]
+    fn lint_read(&mut self, r: VReg, op: &'static str) {
+        if let Some(l) = self.lint.as_deref_mut() {
+            l.on_read(r.0, self.vl, op);
+        }
+    }
+
+    #[inline]
+    fn lint_write(&mut self, r: VReg) {
+        if let Some(l) = self.lint.as_deref_mut() {
+            l.on_write(r.0, self.vl);
+        }
+    }
+
+    /// Run the post-operation invariant sweep (no-op when disarmed).
+    #[inline]
+    fn lint_tick(&mut self) {
+        if self.lint.is_some() {
+            let s = self.stats();
+            let vpu = self.cfg.vpu;
+            if let Some(l) = self.lint.as_deref_mut() {
+                l.on_tick(&s, vpu);
+            }
         }
     }
 
@@ -188,6 +238,9 @@ impl Machine {
         self.l1.reset();
         self.l2.reset();
         self.vl = self.mvl;
+        if let Some(l) = self.lint.as_deref_mut() {
+            l.on_reset();
+        }
     }
 
     // ---------------------------------------------------------------- core
@@ -199,6 +252,10 @@ impl Machine {
         self.vl = avl.min(self.mvl);
         self.stats.cycles += self.cfg.cost.vsetvl;
         self.stats.vsetvls += 1;
+        if let Some(l) = self.lint.as_deref_mut() {
+            l.on_vsetvl(avl, self.vl, self.mvl);
+        }
+        self.lint_tick();
         self.vl
     }
 
@@ -260,7 +317,12 @@ impl Machine {
                 } else if self.trace_l2(line) {
                     (c.l2_line / disc).max(1)
                 } else {
-                    self.stats.mem_lines += 1;
+                    // Prefetched fills are already counted in
+                    // `prefetch_lines`; counting them here too would
+                    // double-book the DRAM bytes.
+                    if !prefetched {
+                        self.stats.mem_lines += 1;
+                    }
                     (c.mem_line / disc).max(1)
                 }
             }
@@ -269,7 +331,9 @@ impl Machine {
                 if self.trace_l2(line) {
                     (c.l2_line / disc).max(1)
                 } else {
-                    self.stats.mem_lines += 1;
+                    if !prefetched {
+                        self.stats.mem_lines += 1;
+                    }
                     (c.mem_line / disc).max(1)
                 }
             }
@@ -320,6 +384,8 @@ impl Machine {
         let cost = self.touch_range(src.as_ptr() as usize, vl * 4);
         self.stats.cycles += cost.max((vl as u64).div_ceil(self.epc));
         self.reg_mut(vd).copy_from_slice(&src[..vl]);
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vse32.v`: unit-stride store of `vl` elements to `dst[0..vl]`.
@@ -327,11 +393,13 @@ impl Machine {
     pub fn vse32(&mut self, vs: VReg, dst: &mut [f32]) {
         let vl = self.vl;
         assert!(dst.len() >= vl, "vse32 destination too short: {} < {}", dst.len(), vl);
+        self.lint_read(vs, "vse32");
         self.mem_instr_base();
         let cost = self.touch_range(dst.as_ptr() as usize, vl * 4);
         self.stats.cycles += cost.max((vl as u64).div_ceil(self.epc));
         let base = vs.0 as usize * self.mvl;
         dst[..vl].copy_from_slice(&self.vregs[base..base + vl]);
+        self.lint_tick();
     }
 
     // ------------------------------------------------- strided and gather
@@ -365,12 +433,15 @@ impl Machine {
         for (i, r) in regs.iter_mut().enumerate() {
             *r = src[i * stride];
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vsse32.v`: strided store, element `i` goes to `dst[i * stride]`.
     pub fn vsse32(&mut self, vs: VReg, dst: &mut [f32], stride: usize) {
         let vl = self.vl;
         assert!(stride > 0 && (vl - 1) * stride < dst.len(), "vsse32 out of bounds");
+        self.lint_read(vs, "vsse32");
         self.mem_instr_base();
         self.gather_extra();
         let base_addr = dst.as_ptr() as usize;
@@ -389,6 +460,7 @@ impl Machine {
         for i in 0..vl {
             dst[i * stride] = self.vregs[base + i];
         }
+        self.lint_tick();
     }
 
     /// Segmented load: fills the register with `nsegs` segments of
@@ -432,6 +504,8 @@ impl Machine {
             let off = s * seg_stride;
             regs[s * seg_len..(s + 1) * seg_len].copy_from_slice(&src[off..off + seg_len]);
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// Segmented store: inverse of [`Machine::vload_seg`] (`seg_stride > 0`).
@@ -447,6 +521,7 @@ impl Machine {
         assert_eq!(vl, nsegs * seg_len, "vstore_seg: vl != nsegs * seg_len");
         assert!(seg_stride > 0, "vstore_seg with zero stride would overwrite");
         assert!((nsegs - 1) * seg_stride + seg_len <= dst.len(), "vstore_seg out of bounds");
+        self.lint_read(vs, "vstore_seg");
         self.mem_instr_base();
         self.gather_extra();
         let base_addr = dst.as_ptr() as usize;
@@ -470,6 +545,7 @@ impl Machine {
             dst[off..off + seg_len]
                 .copy_from_slice(&self.vregs[base + s * seg_len..base + (s + 1) * seg_len]);
         }
+        self.lint_tick();
     }
 
     /// Masked segmented store: the register is viewed as `nsegs` blocks of
@@ -493,6 +569,7 @@ impl Machine {
             (nsegs - 1) * seg_stride + seg_valid <= dst.len(),
             "vstore_seg_partial out of bounds"
         );
+        self.lint_read(vs, "vstore_seg_partial");
         self.mem_instr_base();
         self.gather_extra();
         let base_addr = dst.as_ptr() as usize;
@@ -517,6 +594,7 @@ impl Machine {
                 &self.vregs[base + s * seg_block..base + s * seg_block + seg_valid],
             );
         }
+        self.lint_tick();
     }
 
     /// Indexed load with repetition: element `i` is
@@ -548,6 +626,8 @@ impl Machine {
             let v = src[p * stride];
             regs[p * repeat..(p + 1) * repeat].fill(v);
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     // -------------------------------------------------------- arithmetic
@@ -557,55 +637,75 @@ impl Machine {
     pub fn vfmv_v_f(&mut self, vd: VReg, x: f32) {
         self.arith_cost(1);
         self.reg_mut(vd).fill(x);
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vmv.v.v`: register-to-register copy.
     #[inline]
     pub fn vmv(&mut self, vd: VReg, vs: VReg) {
+        self.lint_read(vs, "vmv");
         self.arith_cost(1);
-        if vd == vs {
-            return;
+        if vd != vs {
+            let (d, a, _) = self.reg_dss(vd, vs, vs);
+            d.copy_from_slice(a);
         }
-        let (d, a, _) = self.reg_dss(vd, vs, vs);
-        d.copy_from_slice(a);
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfmacc.vf`: `vd[i] += f * vs[i]` (the workhorse of every kernel).
     #[inline]
     pub fn vfmacc_vf(&mut self, vd: VReg, f: f32, vs: VReg) {
+        self.lint_read(vd, "vfmacc.vf (accumulator)");
+        self.lint_read(vs, "vfmacc.vf");
         self.arith_cost(1);
         self.stats.flops += 2 * self.vl as u64;
         let (d, a, _) = self.reg_dss(vd, vs, vs);
         for (x, &y) in d.iter_mut().zip(a) {
             *x += f * y;
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfmacc.vv`: `vd[i] += va[i] * vb[i]`.
     #[inline]
     pub fn vfmacc_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.lint_read(vd, "vfmacc.vv (accumulator)");
+        self.lint_read(va, "vfmacc.vv");
+        self.lint_read(vb, "vfmacc.vv");
         self.arith_cost(1);
         self.stats.flops += 2 * self.vl as u64;
         let (d, a, b) = self.reg_dss(vd, va, vb);
         for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
             *x += y * z;
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfnmsac.vv`: `vd[i] -= va[i] * vb[i]`.
     #[inline]
     pub fn vfnmsac_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.lint_read(vd, "vfnmsac.vv (accumulator)");
+        self.lint_read(va, "vfnmsac.vv");
+        self.lint_read(vb, "vfnmsac.vv");
         self.arith_cost(1);
         self.stats.flops += 2 * self.vl as u64;
         let (d, a, b) = self.reg_dss(vd, va, vb);
         for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
             *x -= y * z;
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfadd.vv`: `vd[i] = va[i] + vb[i]`.
     #[inline]
     pub fn vfadd_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.lint_read(va, "vfadd.vv");
+        self.lint_read(vb, "vfadd.vv");
         self.arith_cost(1);
         self.stats.flops += self.vl as u64;
         if vd == va {
@@ -624,33 +724,44 @@ impl Machine {
                 *x = y + z;
             }
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfsub.vv`: `vd[i] = va[i] - vb[i]` (vd must not alias sources).
     #[inline]
     pub fn vfsub_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.lint_read(va, "vfsub.vv");
+        self.lint_read(vb, "vfsub.vv");
         self.arith_cost(1);
         self.stats.flops += self.vl as u64;
         let (d, a, b) = self.reg_dss(vd, va, vb);
         for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
             *x = y - z;
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfmul.vv`: `vd[i] = va[i] * vb[i]` (vd must not alias sources).
     #[inline]
     pub fn vfmul_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.lint_read(va, "vfmul.vv");
+        self.lint_read(vb, "vfmul.vv");
         self.arith_cost(1);
         self.stats.flops += self.vl as u64;
         let (d, a, b) = self.reg_dss(vd, va, vb);
         for ((x, &y), &z) in d.iter_mut().zip(a).zip(b) {
             *x = y * z;
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfmul.vf`: `vd[i] = f * vs[i]`; `vd == vs` allowed (in-place scale).
     #[inline]
     pub fn vfmul_vf(&mut self, vd: VReg, f: f32, vs: VReg) {
+        self.lint_read(vs, "vfmul.vf");
         self.arith_cost(1);
         self.stats.flops += self.vl as u64;
         if vd == vs {
@@ -663,11 +774,14 @@ impl Machine {
                 *x = f * y;
             }
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfadd.vf`: `vd[i] = f + vs[i]`; `vd == vs` allowed.
     #[inline]
     pub fn vfadd_vf(&mut self, vd: VReg, f: f32, vs: VReg) {
+        self.lint_read(vs, "vfadd.vf");
         self.arith_cost(1);
         self.stats.flops += self.vl as u64;
         if vd == vs {
@@ -680,11 +794,15 @@ impl Machine {
                 *x = f + y;
             }
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfmax.vv`: elementwise max (for max-pooling); `vd == va` allowed.
     #[inline]
     pub fn vfmax_vv(&mut self, vd: VReg, va: VReg, vb: VReg) {
+        self.lint_read(va, "vfmax.vv");
+        self.lint_read(vb, "vfmax.vv");
         self.arith_cost(1);
         self.stats.flops += self.vl as u64;
         if vd == va {
@@ -698,12 +816,15 @@ impl Machine {
                 *x = y.max(z);
             }
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// Leaky-ReLU on a register: `x = if x < 0 { alpha * x } else { x }`.
     /// Modeled as two vector instructions (compare + predicated multiply).
     #[inline]
     pub fn vleaky(&mut self, vd: VReg, alpha: f32) {
+        self.lint_read(vd, "vleaky");
         self.arith_cost(2);
         self.stats.flops += self.vl as u64;
         for x in self.reg_mut(vd) {
@@ -711,11 +832,14 @@ impl Machine {
                 *x *= alpha;
             }
         }
+        self.lint_write(vd);
+        self.lint_tick();
     }
 
     /// `vfredsum`: horizontal sum of the register; costs an extra
     /// log-depth reduction tree on top of one pass through the lanes.
     pub fn vredsum(&mut self, vs: VReg) -> f32 {
+        self.lint_read(vs, "vfredsum");
         let c = &self.cfg.cost;
         let beats = (self.vl as u64).div_ceil(self.epc);
         let tree = (self.epc as f64).log2().ceil() as u64;
@@ -723,6 +847,7 @@ impl Machine {
         self.stats.vector_instrs += 1;
         self.stats.vector_elems += self.vl as u64;
         self.stats.flops += self.vl as u64;
+        self.lint_tick();
         self.reg(vs).iter().sum()
     }
 
@@ -745,6 +870,9 @@ impl Machine {
         let vl = self.vl;
         assert!((2..=8).contains(&n), "vtranspose_n supports 2..=8 registers");
         assert_eq!(vl % n, 0, "vtranspose_n requires vl % n == 0");
+        for &r in regs {
+            self.lint_read(r, "vtranspose");
+        }
         let permutes = (3 * n) as u64;
         let c = &self.cfg.cost;
         let beats = (vl as u64).div_ceil(self.epc);
@@ -769,6 +897,10 @@ impl Machine {
                 self.vregs[base..base + n].copy_from_slice(&self.scratch[off..off + n]);
             }
         }
+        for &r in regs {
+            self.lint_write(r);
+        }
+        self.lint_tick();
     }
 
     // ------------------------------------------------------------ scalar
@@ -797,6 +929,7 @@ impl Machine {
         };
         self.stats.cycles += c.scalar_op + cost;
         self.stats.scalar_ops += 1;
+        self.lint_tick();
         src[idx]
     }
 
@@ -819,6 +952,7 @@ impl Machine {
             self.stats.cycles += cost;
         }
         self.stats.scalar_ops += 1;
+        self.lint_tick();
         src[idx]
     }
 
@@ -838,6 +972,7 @@ impl Machine {
         self.stats.cycles += c.scalar_op + cost;
         self.stats.scalar_ops += 1;
         dst[idx] = v;
+        self.lint_tick();
     }
 
     /// Scalar fused multiply-add, counted as one scalar op + 2 flops.
@@ -875,6 +1010,7 @@ impl Machine {
             }
         }
         self.stats.cycles += cost;
+        self.lint_tick();
     }
 
     #[inline]
@@ -1165,5 +1301,78 @@ mod tests {
         let mut m = mk(512);
         m.vsetvl(4);
         m.vfmacc_vv(VReg(1), VReg(1), VReg(2));
+    }
+
+    // ------------------------------------------------------------ lint
+
+    #[test]
+    fn lint_accepts_clean_kernel_and_never_changes_cycles() {
+        let mut plain = mk(512);
+        axpy(&mut plain);
+
+        let mut linted = mk(512);
+        linted.enable_lint();
+        axpy(&mut linted);
+
+        assert_eq!(plain.stats(), linted.stats(), "lint must not perturb counted work");
+        assert!(linted.lint().unwrap().checks() > 0, "lint must actually have run");
+    }
+
+    #[test]
+    #[should_panic(expected = "uninitialized lanes")]
+    fn lint_catches_uninitialized_accumulator_read() {
+        let mut m = mk(512);
+        m.enable_lint();
+        m.vsetvl(8);
+        // v0 was never written: reading it as the FMA accumulator observes
+        // the register file's zero-fill, which no kernel may rely on.
+        m.vfmacc_vf(VReg(0), 2.0, VReg(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "uninitialized lanes")]
+    fn lint_catches_read_past_written_prefix() {
+        let mut m = mk(512);
+        m.enable_lint();
+        m.vsetvl(4);
+        m.vfmv_v_f(VReg(0), 1.0); // lanes 0..4 valid
+        let mut dst = vec![0.0f32; 16];
+        m.vsetvl(16);
+        m.vse32(VReg(0), &mut dst); // reads lanes 0..16
+    }
+
+    #[test]
+    fn lint_survives_reset() {
+        let mut m = mk(512);
+        m.enable_lint();
+        m.vsetvl(8);
+        m.vfmv_v_f(VReg(0), 1.0);
+        m.reset(); // cycles back to zero must not trip monotonicity
+        m.vsetvl(8);
+        m.vfmv_v_f(VReg(1), 2.0);
+        assert!(m.lint().unwrap().checks() > 0);
+    }
+
+    /// Regression (found by the lint's DRAM reconciliation sweep): lines
+    /// pulled in by software prefetch were counted in *both*
+    /// `prefetch_lines` and `mem_lines`, double-booking DRAM bytes.
+    #[test]
+    fn prefetched_lines_counted_once_in_dram_bytes() {
+        let mut m = Machine::new(MachineConfig::a64fx_like());
+        m.enable_lint();
+        let src = vec![1.0f32; 256]; // 16 lines
+        m.prefetch(&src, 0, 1024);
+        let s = m.stats();
+        assert!(s.prefetch_lines > 0);
+        assert_eq!(s.mem_lines, 0, "prefetched lines must not be double-counted as demand");
+        assert_eq!(s.l2_misses, s.mem_lines + s.prefetch_lines);
+
+        // Demand-missing a fresh buffer afterwards still counts demand lines.
+        let other = vec![2.0f32; 256];
+        m.vsetvl(16);
+        m.vle32(VReg(0), &other);
+        let s = m.stats();
+        assert!(s.mem_lines > 0);
+        assert_eq!(s.l2_misses, s.mem_lines + s.prefetch_lines);
     }
 }

@@ -16,6 +16,7 @@ mod shape;
 pub use aligned::{AlignedVec, BUF_ALIGN};
 pub use datagen::{fill_pseudo, pseudo_buf, pseudo_weights};
 pub use reference::{
-    conv2d_reference, gemm_reference, im2col_reference, max_rel_error, nchw_to_nhwc, nhwc_to_nchw,
+    conv2d_reference, gemm_reference, im2col_reference, max_abs_error, max_rel_error, nchw_to_nhwc,
+    nhwc_to_nchw,
 };
 pub use shape::ConvShape;

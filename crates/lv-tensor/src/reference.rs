@@ -80,6 +80,13 @@ pub fn gemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec
     c
 }
 
+/// Maximum absolute error between an f32 tensor and an f64 reference
+/// (used by the conformance harness, whose oracles accumulate in f64).
+pub fn max_abs_error(got: &[f32], want: &[f64]) -> f64 {
+    assert_eq!(got.len(), want.len());
+    got.iter().zip(want).map(|(&g, &w)| (g as f64 - w).abs()).fold(0.0, f64::max)
+}
+
 /// Maximum relative error between two tensors, with an absolute floor to
 /// avoid blowing up near zero.
 pub fn max_rel_error(got: &[f32], want: &[f32]) -> f64 {

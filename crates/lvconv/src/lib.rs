@@ -11,7 +11,9 @@
 //! * [`forest`] — the random-forest algorithm selector,
 //! * [`area`] — the 7 nm area model and Pareto utilities,
 //! * [`serving`] — the model-serving co-location simulation,
-//! * [`bench`] — the experiment harness behind every paper figure.
+//! * [`bench`] — the experiment harness behind every paper figure,
+//! * [`check`] — the differential conformance harness (f64 oracles,
+//!   derived tolerances, shape fuzzer) behind `repro check`.
 //!
 //! ```
 //! use lvconv::conv::{prepare_weights, run_conv, Algo};
@@ -33,6 +35,7 @@
 
 pub use lv_area as area;
 pub use lv_bench as bench;
+pub use lv_check as check;
 pub use lv_conv as conv;
 pub use lv_forest as forest;
 pub use lv_models as models;

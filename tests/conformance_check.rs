@@ -1,0 +1,46 @@
+//! Cross-crate conformance smoke: the `lv-check` differential harness,
+//! exercised through the `lvconv` facade exactly the way `repro check`
+//! drives it — every kernel variant against the f64 oracle under derived
+//! tolerances, with the simulator invariant lint enabled. A full sweep
+//! lives behind `repro check [--deep]`; this keeps a fast slice of it in
+//! the tier-1 test suite.
+
+use lvconv::check::{check_conv_shape, fuzz_shapes, machine_points, CheckConfig};
+use lvconv::tensor::ConvShape;
+
+#[test]
+fn every_kernel_matches_the_oracle_on_a_representative_shape() {
+    let machines = machine_points(false);
+    let mut lint_checks = 0u64;
+    // All-algorithms-applicable shape: 3x3 stride-1 same-pad.
+    let cells =
+        check_conv_shape(&ConvShape::same_pad(3, 5, 12, 3, 1), &machines, 0, &mut lint_checks);
+    assert!(!cells.is_empty());
+    assert!(lint_checks > 0, "the invariant lint must observe every cell");
+    for c in &cells {
+        assert!(
+            c.pass(),
+            "{} on {} for {}: max_abs_err {:.3e} exceeds bound {:.3e} ({})",
+            c.kernel,
+            c.machine,
+            c.shape,
+            c.max_abs_err,
+            c.bound_at_max,
+            c.detail,
+        );
+    }
+    // Direct variants, both GEMMs (three blockings) and three Winograd
+    // tile sizes, per machine point.
+    assert_eq!(cells.len() % machines.len(), 0);
+    assert!(cells.len() / machines.len() >= 10, "expected full kernel coverage per machine");
+}
+
+#[test]
+fn fuzzer_seed_is_reproducible_through_the_facade() {
+    let a = fuzz_shapes(42, 12, false);
+    let b = fuzz_shapes(42, 12, false);
+    assert_eq!(a, b, "same seed must draw the same shape sequence");
+    let c = fuzz_shapes(43, 12, false);
+    assert_ne!(a, c, "different seeds must explore different shapes");
+    assert_eq!(CheckConfig::default().seed, 42, "repro check defaults to seed 42");
+}
