@@ -2,14 +2,21 @@
 //!
 //! Usage:
 //! ```text
-//! repro <experiment> [--scale S] [--force] [--trace FILE]
+//! repro <experiment> [--scale S] [--force] [--no-cache] [--jobs N] [--trace FILE]
 //! repro all            # every Paper II experiment
-//! repro grid           # (re)compute the Paper II measurement grid
-//! repro p1grid         # (re)compute the Paper I sweeps
+//! repro grid           # warm the Paper II slice of the cell cache
+//! repro p1grid         # warm the Paper I slices of the cell cache
 //! ```
 //! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
 //! selector fig9 fig10 fig11 fig12 serve p1-blocks p1-vl p1-cache p1-lanes
 //! p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify check
+//!
+//! Every sweep-backed artifact runs through one shared
+//! [`lv_bench::plan::Executor`] with a persistent content-addressed cell
+//! cache (`results/cache/cells.jsonl`): overlapping artifacts reuse each
+//! other's simulations, `--force` resimulates (once per unique cell per
+//! invocation), `--no-cache` bypasses the cache entirely, and `--jobs N`
+//! sets the fan-out worker count.
 //!
 //! `check [--seed N] [--deep]` runs the `lv-check` conformance sweep
 //! (every kernel variant against the f64 oracle under derived tolerances,
@@ -22,104 +29,76 @@
 //!
 //! `--trace FILE` records the run with `lv-trace` and writes Chrome
 //! trace-event JSON (loadable in Perfetto / `chrome://tracing`): wall-clock
-//! artifact spans, simulated-cycle network → layer → kernel spans for
-//! `fig1`/`fig2` (plus `results/roofline-<model>.csv`), and request
-//! lifecycle events for `serve`.
+//! artifact and plan spans with cell counters, simulated-cycle network →
+//! layer → kernel spans for `fig1`/`fig2` (plus
+//! `results/roofline-<model>.csv`), and request lifecycle events for
+//! `serve`.
 
-use std::path::PathBuf;
-
-use lv_bench::grid;
-use lv_bench::trace::{TraceCtx, ARTIFACTS};
-
-fn die_unknown(what: &str) -> ! {
-    eprintln!("{what}");
-    eprintln!("valid artifacts: grid p1grid {}", ARTIFACTS.join(" "));
-    std::process::exit(2);
-}
+use lv_bench::cli::{self, CliError, CliSpec, Invocation};
+use lv_bench::error::BenchError;
+use lv_bench::grid::results_dir;
+use lv_bench::plan::{self, ExecOptions, Executor};
+use lv_bench::trace::TraceCtx;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: repro <experiment|all|grid|p1grid> [--scale S] [--force] [--trace FILE]");
-        eprintln!("valid artifacts: grid p1grid {}", ARTIFACTS.join(" "));
-        std::process::exit(2);
-    }
-    let cmd = args[0].clone();
-    let mut scale = 1.0f64;
-    let mut force = false;
-    let mut seed = 42u64;
-    let mut deep = false;
-    let mut trace_path: Option<PathBuf> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
-                    eprintln!("--seed requires an unsigned integer");
-                    std::process::exit(2);
-                };
-                seed = v;
-                i += 2;
+    let inv = match cli::parse(&args) {
+        Ok(inv) => inv,
+        Err(e) => {
+            if matches!(e, CliError::Empty) {
+                eprintln!("{}", CliSpec::usage());
+            } else {
+                eprintln!("{e}");
             }
-            "--deep" => {
-                deep = true;
-                i += 1;
-            }
-            "--scale" => {
-                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
-                    eprintln!("--scale requires a positive number");
-                    std::process::exit(2);
-                };
-                scale = v;
-                i += 2;
-            }
-            "--force" => {
-                force = true;
-                i += 1;
-            }
-            "--trace" => {
-                let Some(p) = args.get(i + 1) else {
-                    eprintln!("--trace requires an output file path");
-                    std::process::exit(2);
-                };
-                trace_path = Some(PathBuf::from(p));
-                i += 2;
-            }
-            other => die_unknown(&format!("unknown flag {other}")),
+            eprintln!("{}", CliSpec::listing());
+            std::process::exit(2);
         }
+    };
+    let ctx = if inv.trace.is_some() { TraceCtx::enabled() } else { TraceCtx::disabled() };
+    let exec = Executor::new(ExecOptions {
+        jobs: inv.jobs,
+        no_cache: inv.no_cache,
+        force: inv.force,
+        verbose: true,
+        ..Default::default()
+    });
+    if let Err(e) = run(&inv, &exec, &ctx) {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
     }
-    if cmd != "grid" && cmd != "p1grid" && !ARTIFACTS.contains(&cmd.as_str()) {
-        die_unknown(&format!("unknown experiment: {cmd}"));
-    }
-    let ctx = if trace_path.is_some() { TraceCtx::enabled() } else { TraceCtx::disabled() };
-    run(&cmd, scale, force, seed, deep, &ctx);
-    if let Some(path) = trace_path {
-        ctx.finish(&path);
+    if let Some(path) = &inv.trace {
+        ctx.finish(path);
     }
 }
 
-fn run(cmd: &str, scale: f64, force: bool, seed: u64, deep: bool, ctx: &TraceCtx) {
-    match cmd {
+fn run(inv: &Invocation, exec: &Executor, ctx: &TraceCtx) -> Result<(), BenchError> {
+    match inv.artifact.as_str() {
         "grid" => {
-            let rows = grid::ensure_grid("grid", scale, force, true);
-            println!("grid ready: {} rows", rows.len());
+            let out = exec.run(&plan::paper2_plan(inv.scale), ctx)?;
+            println!("grid ready: {} rows", out.rows.len());
         }
         "p1grid" => {
-            let rows = grid::ensure_grid("p1grid", scale, force, true);
-            println!("p1grid ready: {} rows", rows.len());
+            let mut rows = 0usize;
+            for p in plan::p1_plans(inv.scale) {
+                rows += exec.run(&p, ctx)?.rows.len();
+            }
+            println!("p1grid ready: {rows} rows");
         }
         "check" => {
-            let (text, pass) = lv_bench::check::check_text(seed, deep);
-            let dir = grid::results_dir();
-            std::fs::create_dir_all(&dir).ok();
+            let (text, pass) = lv_bench::check::check_text(inv.seed, inv.deep);
+            let dir = results_dir();
+            std::fs::create_dir_all(&dir).map_err(BenchError::io("create results dir", &dir))?;
             let path = dir.join("check.txt");
-            std::fs::write(&path, &text).expect("write results/check.txt");
+            std::fs::write(&path, &text).map_err(BenchError::io("write check report", &path))?;
             println!("{text}");
             println!("[saved to {}]", path.display());
             if !pass {
+                // Legacy behaviour: a failed conformance sweep exits 1
+                // immediately, before any trace is written.
                 std::process::exit(1);
             }
         }
-        other => lv_bench::figures::run_experiment_traced(other, scale, force, ctx),
+        other => lv_bench::figures::run_experiment_traced(other, inv.scale, exec, ctx)?,
     }
+    Ok(())
 }

@@ -1,0 +1,75 @@
+//! Typed errors for the experiment harness. Everything that used to
+//! `unwrap()`/`expect()` on `results/` file IO now surfaces a
+//! [`BenchError`] so `repro` can exit 1 with a readable path + cause
+//! instead of a panic backtrace (e.g. on a read-only or missing
+//! `results/` directory).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why an artifact could not be produced.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A filesystem operation under `results/` failed.
+    Io {
+        /// What was being attempted ("write report", "create results dir").
+        what: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The persistent cell cache is unusable (not merely stale or
+    /// partially corrupt — those are repaired in place by resimulating).
+    Cache {
+        /// The cache file or directory.
+        path: PathBuf,
+        /// What is wrong with it.
+        detail: String,
+    },
+}
+
+impl BenchError {
+    /// Curried constructor for `map_err`: `map_err(BenchError::io("write report", &path))`.
+    pub fn io<'a>(what: &'static str, path: &'a Path) -> impl FnOnce(std::io::Error) -> Self + 'a {
+        move |source| Self::Io { what, path: path.to_path_buf(), source }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Io { what, path, source } => {
+                write!(f, "failed to {what} at {}: {source}", path.display())
+            }
+            BenchError::Cache { path, detail } => {
+                write!(f, "cell cache unusable at {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Cache { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_renders_path_and_cause() {
+        let path = PathBuf::from("/no/such/dir/fig1.txt");
+        let e = std::fs::write(&path, "x").unwrap_err();
+        let b = BenchError::io("write report", &path)(e);
+        let msg = b.to_string();
+        assert!(msg.contains("write report"), "{msg}");
+        assert!(msg.contains("/no/such/dir/fig1.txt"), "{msg}");
+        assert!(std::error::Error::source(&b).is_some());
+    }
+}

@@ -8,89 +8,120 @@ use std::fmt::Write as _;
 use lv_conv::{Algo, ALL_ALGOS};
 
 use crate::chart::{hbar_chart, table};
+use crate::cli::CliSpec;
+use crate::error::BenchError;
 use crate::grid::{
-    self, ensure_grid, policy_cycles, results_dir, table1_layers, GridRow, P1_L2S, P1_VLENS,
-    P2_L2S, P2_VLENS,
+    self, policy_cycles, results_dir, table1_layers, GridRow, P1_L2S, P1_VLENS, P2_L2S, P2_VLENS,
 };
+use crate::plan::{self, Executor, Model, SweepPlan};
 use crate::selector::{evaluate_selector, predicted_cycles, SelectorEval};
-use crate::trace::{TraceCtx, ARTIFACTS};
+use crate::trace::TraceCtx;
 
 /// Seconds at the simulated 2 GHz clock.
 fn secs(cycles: u64) -> f64 {
     cycles as f64 / 2e9
 }
 
-fn save(id: &str, text: &str) {
+/// Write `results/<name>` with a typed error instead of a panic or a
+/// silently-dropped `.ok()`, so `repro` exits 1 with the path and cause
+/// when `results/` is missing or unwritable.
+fn write_result(name: &str, text: &str) -> Result<(), BenchError> {
     let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("results dir");
-    std::fs::write(dir.join(format!("{id}.txt")), text).expect("write report");
+    std::fs::create_dir_all(&dir).map_err(BenchError::io("create results dir", &dir))?;
+    let path = dir.join(name);
+    std::fs::write(&path, text).map_err(BenchError::io("write report", &path))?;
+    Ok(())
 }
 
-/// Dispatch an experiment by id (see `repro --help` text).
-pub fn run_experiment(id: &str, scale: f64, force: bool) {
-    run_experiment_traced(id, scale, force, &TraceCtx::disabled());
+fn save(id: &str, text: &str) -> Result<(), BenchError> {
+    write_result(&format!("{id}.txt"), text)
 }
 
-/// [`run_experiment`] with a trace context: each artifact gets a
-/// wall-clock span on the harness track, and `fig1`/`fig2`/`serve` run an
-/// extra traced workload (network inference / serving engine) when the
-/// context is recording. With a disabled context this is exactly
-/// [`run_experiment`].
-pub fn run_experiment_traced(id: &str, scale: f64, force: bool, ctx: &TraceCtx) {
+// Per-artifact sweep plans. Each is the exact slice of the experiment
+// space the figure reads, so overlapping artifacts share cells through
+// the executor's content-addressed cache (fig3's 1-MiB column IS fig5's
+// 512-bit row) and nothing simulates more than its figure needs.
+
+fn baseline_plan(id: &str, model: Model, scale: f64) -> SweepPlan {
+    SweepPlan::new(id).layers(model).scale(scale).vlens(&[512]).l2s(&[1]).algos(&ALL_ALGOS)
+}
+
+fn vl_plan(id: &str, model: Model, scale: f64) -> SweepPlan {
+    SweepPlan::new(id).layers(model).scale(scale).vlens(&P2_VLENS).l2s(&[1]).algos(&ALL_ALGOS)
+}
+
+fn l2_plan(id: &str, model: Model, vlen: usize, scale: f64) -> SweepPlan {
+    SweepPlan::new(id).layers(model).scale(scale).vlens(&[vlen]).l2s(&P2_L2S).algos(&ALL_ALGOS)
+}
+
+/// Dispatch an experiment by id with a fresh default executor and no
+/// tracing (see `repro --help` text for ids).
+pub fn run_experiment(id: &str, scale: f64, force: bool) -> Result<(), BenchError> {
+    let exec = Executor::new(plan::ExecOptions { force, verbose: true, ..Default::default() });
+    run_experiment_traced(id, scale, &exec, &TraceCtx::disabled())
+}
+
+/// [`run_experiment`] against a shared executor and trace context: each
+/// artifact gets a wall-clock span on the harness track, every grid slice
+/// goes through the executor's cell cache (so `all` simulates each unique
+/// cell at most once), and `fig1`/`fig2`/`serve` run an extra traced
+/// workload when the context is recording.
+pub fn run_experiment_traced(
+    id: &str,
+    scale: f64,
+    exec: &Executor,
+    ctx: &TraceCtx,
+) -> Result<(), BenchError> {
     let span = ctx.artifact_begin(id);
+    let run = |p: &SweepPlan| exec.run(p, ctx).map(|o| o.rows);
     let report = match id {
         "table1" => table1_report(scale),
-        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "dataset"
-        | "selector" | "fig9" | "fig10" | "fig11" | "fig12" | "serve" => {
-            let rows = ensure_grid("grid", scale, force, true);
-            match id {
-                "fig1" => {
-                    crate::trace::traced_fig_run(ctx, &rows, "vgg16", scale);
-                    fig1_2(&rows, "vgg16", "fig1")
-                }
-                "fig2" => {
-                    crate::trace::traced_fig_run(ctx, &rows, "yolov3-20", scale);
-                    fig1_2(&rows, "yolov3-20", "fig2")
-                }
-                "fig3" => fig3_4(&rows, "vgg16", "fig3"),
-                "fig4" => fig3_4(&rows, "yolov3-20", "fig4"),
-                "fig5" => fig5_8(&rows, "vgg16", 512, "fig5"),
-                "fig6" => fig5_8(&rows, "vgg16", 4096, "fig6"),
-                "fig7" => fig5_8(&rows, "yolov3-20", 512, "fig7"),
-                "fig8" => fig5_8(&rows, "yolov3-20", 4096, "fig8"),
-                "dataset" => dataset_report(&rows),
-                "selector" => selector_report(&rows),
-                "fig9" => fig9_10(&rows, "vgg16", "fig9"),
-                "fig10" => fig9_10(&rows, "yolov3-20", "fig10"),
-                "fig11" => fig11(&rows),
-                "fig12" => fig12(&rows),
-                "serve" => crate::serving::serve_report(&rows, ctx),
-                _ => unreachable!(),
-            }
+        "fig1" => {
+            let rows = run(&baseline_plan("fig1", Model::Vgg16, scale))?;
+            crate::trace::traced_fig_run(ctx, &rows, "vgg16", scale);
+            fig1_2(&rows, "vgg16", "fig1")?
         }
-        "p1-vl" | "p1-cache" | "p1-lanes" | "p1-winograd" | "p1-pareto" => {
-            let rows = ensure_grid("p1grid", scale, force, true);
-            match id {
-                "p1-vl" => p1_vl(&rows),
-                "p1-cache" => p1_cache(&rows),
-                "p1-lanes" => p1_lanes(&rows),
-                "p1-winograd" => p1_winograd(&rows),
-                "p1-pareto" => p1_pareto(&rows),
-                _ => unreachable!(),
-            }
+        "fig2" => {
+            let rows = run(&baseline_plan("fig2", Model::Yolo20, scale))?;
+            crate::trace::traced_fig_run(ctx, &rows, "yolov3-20", scale);
+            fig1_2(&rows, "yolov3-20", "fig2")?
         }
+        "fig3" => fig3_4(&run(&vl_plan("fig3", Model::Vgg16, scale))?, "vgg16", "fig3")?,
+        "fig4" => fig3_4(&run(&vl_plan("fig4", Model::Yolo20, scale))?, "yolov3-20", "fig4")?,
+        "fig5" => fig5_8(&run(&l2_plan("fig5", Model::Vgg16, 512, scale))?, "vgg16", 512, "fig5")?,
+        "fig6" => {
+            fig5_8(&run(&l2_plan("fig6", Model::Vgg16, 4096, scale))?, "vgg16", 4096, "fig6")?
+        }
+        "fig7" => {
+            fig5_8(&run(&l2_plan("fig7", Model::Yolo20, 512, scale))?, "yolov3-20", 512, "fig7")?
+        }
+        "fig8" => {
+            fig5_8(&run(&l2_plan("fig8", Model::Yolo20, 4096, scale))?, "yolov3-20", 4096, "fig8")?
+        }
+        // These read the full Paper II grid (both models, all 16 configs):
+        // the selector trains on all of it and the Pareto/serving analyses
+        // sweep every design point.
+        "dataset" => dataset_report(&run(&plan::paper2_plan(scale))?)?,
+        "selector" => selector_report(&run(&plan::paper2_plan(scale))?),
+        "fig9" => fig9_10(&run(&plan::paper2_plan(scale))?, "vgg16", "fig9")?,
+        "fig10" => fig9_10(&run(&plan::paper2_plan(scale))?, "yolov3-20", "fig10")?,
+        "fig11" => fig11(&run(&plan::paper2_plan(scale))?)?,
+        "fig12" => fig12(&run(&plan::paper2_plan(scale))?)?,
+        "serve" => crate::serving::serve_report(&run(&plan::paper2_plan(scale))?, ctx),
+        "p1-vl" => p1_vl(&run(&plan::p1_dec_plan(scale).l2s(&[1]))?),
+        "p1-cache" => p1_cache(&run(&plan::p1_dec_plan(scale))?),
+        "p1-lanes" => p1_lanes(&run(&plan::p1_lanes_plan(scale))?),
+        "p1-winograd" => p1_winograd(&run(&plan::p1_wino_plan(scale))?),
+        "p1-pareto" => p1_pareto(&run(&plan::p1_dec_plan(scale))?),
         "p1-blocks" => p1_blocks(scale),
         "p1-naive" => p1_naive(scale),
         "p1-roofline" => p1_roofline(scale),
         "ablation-tiles" => ablation_tiles(scale),
-        "ablation-energy" => {
-            let rows = ensure_grid("grid", scale, force, true);
-            ablation_energy(&rows, scale)
-        }
+        "ablation-energy" => ablation_energy(scale),
         "ablation-fft" => ablation_fft(scale),
         "ablation-unroll" => ablation_unroll(scale),
         "ablation-contention" => ablation_contention(scale),
-        "verify" => crate::verify::render(&crate::verify::verify(scale)),
+        "verify" => crate::verify::render(&crate::verify::verify(scale, exec, ctx)?),
         // Default-config sweep; `repro check` accepts --seed/--deep and
         // propagates the exit code (handled in the binary).
         "check" => crate::check::check_text(42, false).0,
@@ -99,10 +130,10 @@ pub fn run_experiment_traced(id: &str, scale: f64, force: bool, ctx: &TraceCtx) 
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                 "dataset", "selector", "fig9", "fig10", "fig11", "fig12", "serve",
             ] {
-                run_experiment_traced(e, scale, false, ctx);
+                run_experiment_traced(e, scale, exec, ctx)?;
             }
             ctx.artifact_end(span);
-            return;
+            return Ok(());
         }
         "p1-all" => {
             for e in [
@@ -115,10 +146,10 @@ pub fn run_experiment_traced(id: &str, scale: f64, force: bool, ctx: &TraceCtx) 
                 "p1-naive",
                 "p1-roofline",
             ] {
-                run_experiment_traced(e, scale, false, ctx);
+                run_experiment_traced(e, scale, exec, ctx)?;
             }
             ctx.artifact_end(span);
-            return;
+            return Ok(());
         }
         "ablations" => {
             for e in [
@@ -128,21 +159,22 @@ pub fn run_experiment_traced(id: &str, scale: f64, force: bool, ctx: &TraceCtx) 
                 "ablation-unroll",
                 "ablation-contention",
             ] {
-                run_experiment_traced(e, scale, false, ctx);
+                run_experiment_traced(e, scale, exec, ctx)?;
             }
             ctx.artifact_end(span);
-            return;
+            return Ok(());
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("valid artifacts: {}", ARTIFACTS.join(" "));
+            eprintln!("{}", CliSpec::listing());
             std::process::exit(2);
         }
     };
-    save(id, &report);
+    save(id, &report)?;
     println!("{report}");
     println!("[saved to {}/{id}.txt]", results_dir().display());
     ctx.artifact_end(span);
+    Ok(())
 }
 
 // ------------------------------------------------------------- Table 1
@@ -169,7 +201,7 @@ fn table1_report(scale: f64) -> String {
 
 // ----------------------------------------------------------- Figs 1-2
 
-fn fig1_2(rows: &[GridRow], model: &str, id: &str) -> String {
+fn fig1_2(rows: &[GridRow], model: &str, id: &str) -> Result<String, BenchError> {
     let mut out = format!(
         "{id}: per-layer execution time of {model}, 512-bit vectors, 1 MiB L2 (Paper II Fig. {})\n",
         if model == "vgg16" { 1 } else { 2 }
@@ -206,13 +238,13 @@ fn fig1_2(rows: &[GridRow], model: &str, id: &str) -> String {
         let _ = write!(out, "{}={n} ", a.name());
     }
     out.push('\n');
-    std::fs::write(results_dir().join(format!("{id}.csv")), csv).ok();
-    out
+    write_result(&format!("{id}.csv"), &csv)?;
+    Ok(out)
 }
 
 // ----------------------------------------------------------- Figs 3-4
 
-fn fig3_4(rows: &[GridRow], model: &str, id: &str) -> String {
+fn fig3_4(rows: &[GridRow], model: &str, id: &str) -> Result<String, BenchError> {
     let mut out = format!(
         "{id}: vector-length scaling (512->4096 bit) of {model} layers at 1 MiB L2\n\
          (cells: speedup over the same algorithm at 512-bit)\n\n"
@@ -263,13 +295,13 @@ fn fig3_4(rows: &[GridRow], model: &str, id: &str) -> String {
             let _ = writeln!(out, "  {:22} {mn:.2}x .. {mx:.2}x", a.name());
         }
     }
-    std::fs::write(results_dir().join(format!("{id}.csv")), csv).ok();
-    out
+    write_result(&format!("{id}.csv"), &csv)?;
+    Ok(out)
 }
 
 // ----------------------------------------------------------- Figs 5-8
 
-fn fig5_8(rows: &[GridRow], model: &str, vlen: usize, id: &str) -> String {
+fn fig5_8(rows: &[GridRow], model: &str, vlen: usize, id: &str) -> Result<String, BenchError> {
     let mut out = format!(
         "{id}: L2 scaling (1->64 MiB) of {model} layers at {vlen}-bit vectors\n\
          (cells: speedup over the same algorithm at 1 MiB)\n\n"
@@ -300,13 +332,13 @@ fn fig5_8(rows: &[GridRow], model: &str, vlen: usize, id: &str) -> String {
         let _ = writeln!(out, "layer {layer}:");
         out.push_str(&table(&["algo", "1MB", "4MB", "16MB", "64MB"], &trows));
     }
-    std::fs::write(results_dir().join(format!("{id}.csv")), csv).ok();
-    out
+    write_result(&format!("{id}.csv"), &csv)?;
+    Ok(out)
 }
 
 // -------------------------------------------------- dataset + selector
 
-fn dataset_report(rows: &[GridRow]) -> String {
+fn dataset_report(rows: &[GridRow]) -> Result<String, BenchError> {
     let (ds, keys) = crate::selector::dataset_from_grid(rows);
     let mut counts = vec![0usize; ALL_ALGOS.len()];
     for &l in &ds.labels {
@@ -327,8 +359,8 @@ fn dataset_report(rows: &[GridRow]) -> String {
         let cells: Vec<String> = f.iter().map(|v| format!("{v}")).collect();
         let _ = writeln!(csv, "{},{}", cells.join(","), Algo::from_label(*l).name());
     }
-    std::fs::write(results_dir().join("dataset.csv"), csv).ok();
-    out
+    write_result("dataset.csv", &csv)?;
+    Ok(out)
 }
 
 fn selector_eval(rows: &[GridRow]) -> SelectorEval {
@@ -371,7 +403,7 @@ fn selector_report(rows: &[GridRow]) -> String {
 
 // ---------------------------------------------------------- Figs 9-10
 
-fn fig9_10(rows: &[GridRow], model: &str, id: &str) -> String {
+fn fig9_10(rows: &[GridRow], model: &str, id: &str) -> Result<String, BenchError> {
     let eval = selector_eval(rows);
     let layers: Vec<usize> =
         table1_layers(1.0).into_iter().filter(|(m, _, _)| m == model).map(|(_, l, _)| l).collect();
@@ -456,8 +488,8 @@ fn fig9_10(rows: &[GridRow], model: &str, id: &str) -> String {
          (paper: VGG-16 1.85x over Direct / 1.73x over 6-loop; YOLOv3 1.33x / 2.11x;\n\
           predicted error avg 1.67%/0.95%, max 8.4%/5.9%)"
     );
-    std::fs::write(results_dir().join(format!("{id}.csv")), csv).ok();
-    out
+    write_result(&format!("{id}.csv"), &csv)?;
+    Ok(out)
 }
 
 // Helpers to build the fig9/10 table without fighting the borrow checker:
@@ -478,7 +510,7 @@ fn collect_rows(out: &str) -> Vec<Vec<String>> {
 
 // ------------------------------------------------------------- Fig 11
 
-fn fig11(rows: &[GridRow]) -> String {
+fn fig11(rows: &[GridRow]) -> Result<String, BenchError> {
     use lv_area::{chip_area_mm2, pareto_frontier, pareto_knee, DesignPoint};
     let eval = selector_eval(rows);
     let model = "vgg16";
@@ -554,13 +586,13 @@ fn fig11(rows: &[GridRow]) -> String {
          (paper: every frontier point corresponds to selecting the optimal algorithm per layer;\n\
           Pareto-optimal configuration is 2048-bit x 1 MiB at 2.35 mm2)"
     );
-    std::fs::write(results_dir().join("fig11.csv"), csv).ok();
-    out
+    write_result("fig11.csv", &csv)?;
+    Ok(out)
 }
 
 // ------------------------------------------------------------- Fig 12
 
-fn fig12(rows: &[GridRow]) -> String {
+fn fig12(rows: &[GridRow]) -> Result<String, BenchError> {
     use lv_area::{chip_area_mm2, pareto_frontier, DesignPoint};
     use lv_serving::{colocated_throughput, partition_l2};
     let model = "vgg16";
@@ -624,8 +656,8 @@ fn fig12(rows: &[GridRow]) -> String {
         frontier_max_replicas.iter().filter(|&&b| b).count(),
         frontier_max_replicas.len()
     );
-    std::fs::write(results_dir().join("fig12.csv"), csv).ok();
-    out
+    write_result("fig12.csv", &csv)?;
+    Ok(out)
 }
 
 // ------------------------------------------------------ Paper I extras
@@ -1039,8 +1071,9 @@ fn ablation_tiles(scale: f64) -> String {
 }
 
 /// Ablation: energy and energy-delay across design points, extending the
-/// Fig. 11 Pareto analysis with the energy model.
-fn ablation_energy(rows: &[GridRow], scale: f64) -> String {
+/// Fig. 11 Pareto analysis with the energy model. Measures live (it needs
+/// full `Stats`, which the cell cache deliberately does not store).
+fn ablation_energy(scale: f64) -> String {
     use lv_area::chip_area_mm2;
     use lv_area::energy::{energy_of, EnergyParams};
     use lv_models::measure_layer;
@@ -1080,8 +1113,7 @@ fn ablation_energy(rows: &[GridRow], scale: f64) -> String {
     }
     let mut out = format!(
         "ablation-energy: energy / energy-delay across design points, VGG-16 layer 5,\n\
-         best algorithm per point (scale {scale}; grid rows available: {})\n\n",
-        rows.len()
+         best algorithm per point (scale {scale})\n\n"
     );
     out.push_str(&table(
         &["config", "algo", "time ms", "energy mJ", "DRAM %", "leak %", "EDP (Js)"],

@@ -1,9 +1,10 @@
-//! The measurement grid: every (layer, hardware design point, algorithm)
-//! simulation behind Figs. 1-10, the classifier dataset, and the Paper I
-//! sweeps. Results are cached as CSV under `results/` so figures
-//! regenerate instantly once the grid exists.
+//! The measurement grid: the row type every figure aggregates, the Table-1
+//! layer list, CSV serialization, and direct batch simulation helpers for
+//! tests/benches. Figure generation itself goes through
+//! [`crate::plan::SweepPlan`] and the [`crate::plan::Executor`]'s
+//! content-addressed cell cache (`results/cache/cells.jsonl`), which
+//! replaced the whole-grid CSV caches that used to live here.
 
-use std::io::Write;
 use std::path::PathBuf;
 
 use lv_conv::{Algo, ALL_ALGOS};
@@ -129,59 +130,6 @@ pub fn paper2_points(scale: f64) -> Vec<SimPoint> {
     pts
 }
 
-/// Paper I sweep requests: YOLOv3(20) layers on the decoupled machine with
-/// the 3-loop GEMM (its best kernel there), across the long-VL / large-L2
-/// grid, plus the Winograd sweep on the integrated machine.
-pub fn paper1_points(scale: f64) -> Vec<SimPoint> {
-    let mut pts = Vec::new();
-    let yolo: Vec<_> =
-        table1_layers(scale).into_iter().filter(|(m, _, _)| m == "yolov3-20").collect();
-    for (model, layer, shape) in &yolo {
-        for &vlen in &P1_VLENS {
-            for &l2 in &P1_L2S {
-                pts.push(SimPoint {
-                    model: format!("{model}/dec"),
-                    layer: *layer,
-                    shape: *shape,
-                    cfg: MachineConfig::rvv_decoupled(vlen, l2),
-                    algo: Algo::Gemm3,
-                });
-            }
-        }
-        // Lane sweep at 1 MiB.
-        for &lanes in &[2usize, 4, 8] {
-            for &vlen in &[512usize, 2048, 8192] {
-                let mut cfg = MachineConfig::rvv_decoupled(vlen, 1);
-                cfg.lanes = lanes;
-                pts.push(SimPoint {
-                    model: format!("{model}/dec/l{lanes}"),
-                    layer: *layer,
-                    shape: *shape,
-                    cfg,
-                    algo: Algo::Gemm3,
-                });
-            }
-        }
-    }
-    // Winograd sweeps (Paper I Figs. 9-10): integrated machine, VGG16 +
-    // YOLO(20), Winograd with Gemm6 fallback handled at aggregation.
-    for (model, layer, shape) in table1_layers(scale) {
-        for &vlen in &[512usize, 1024, 2048] {
-            for &l2 in &P1_L2S {
-                let algo = if shape.winograd_applicable() { Algo::Winograd } else { Algo::Gemm6 };
-                pts.push(SimPoint {
-                    model: format!("{model}/wino"),
-                    layer,
-                    shape,
-                    cfg: MachineConfig::rvv_integrated(vlen, l2),
-                    algo,
-                });
-            }
-        }
-    }
-    pts
-}
-
 // ------------------------------------------------------------------ CSV
 
 const HEADER: &str = "model,layer,ic,ih,iw,oc,kh,kw,stride,pad,vpu,lanes,vlen_bits,l2_mib,algo,cycles,avg_vl,l2_miss_rate";
@@ -284,55 +232,6 @@ pub fn results_dir() -> PathBuf {
             }
         }
     })
-}
-
-fn grid_path(name: &str, scale: f64) -> PathBuf {
-    results_dir().join(format!("{name}_s{scale:.2}.csv"))
-}
-
-/// Save rows to the cache.
-pub fn save_grid(name: &str, scale: f64, rows: &[GridRow]) -> std::io::Result<PathBuf> {
-    let path = grid_path(name, scale);
-    std::fs::create_dir_all(path.parent().unwrap())?;
-    let mut f = std::fs::File::create(&path)?;
-    f.write_all(to_csv(rows).as_bytes())?;
-    Ok(path)
-}
-
-/// Load cached rows if present.
-pub fn load_grid(name: &str, scale: f64) -> Option<Vec<GridRow>> {
-    let text = std::fs::read_to_string(grid_path(name, scale)).ok()?;
-    from_csv(&text).ok()
-}
-
-/// Load the named grid or compute and cache it.
-pub fn ensure_grid(name: &str, scale: f64, force: bool, verbose: bool) -> Vec<GridRow> {
-    if !force {
-        if let Some(rows) = load_grid(name, scale) {
-            if verbose {
-                eprintln!(
-                    "loaded {} cached rows from {}",
-                    rows.len(),
-                    grid_path(name, scale).display()
-                );
-            }
-            return rows;
-        }
-    }
-    let points = match name {
-        "grid" => paper2_points(scale),
-        "p1grid" => paper1_points(scale),
-        other => panic!("unknown grid {other}"),
-    };
-    if verbose {
-        eprintln!("simulating {} grid points (scale {scale}) ...", points.len());
-    }
-    let rows = run_points(points, verbose);
-    let path = save_grid(name, scale, &rows).expect("save grid");
-    if verbose {
-        eprintln!("saved {} rows to {}", rows.len(), path.display());
-    }
-    rows
 }
 
 /// Look up one row.

@@ -14,8 +14,11 @@
 
 pub mod chart;
 pub mod check;
+pub mod cli;
+pub mod error;
 pub mod figures;
 pub mod grid;
+pub mod plan;
 pub mod selector;
 pub mod serving;
 pub mod trace;

@@ -27,45 +27,6 @@ pub const PID_MACHINE: u64 = 1;
 /// Chrome-trace process id of the serving engine (second-clock events).
 pub const PID_SERVING: u64 = 2;
 
-/// Every artifact id `figures::run_experiment` accepts. `repro` prints
-/// this list when given an unknown id or flag.
-pub const ARTIFACTS: &[&str] = &[
-    "table1",
-    "fig1",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "dataset",
-    "selector",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "serve",
-    "p1-vl",
-    "p1-cache",
-    "p1-lanes",
-    "p1-winograd",
-    "p1-pareto",
-    "p1-blocks",
-    "p1-naive",
-    "p1-roofline",
-    "ablation-tiles",
-    "ablation-energy",
-    "ablation-fft",
-    "ablation-unroll",
-    "ablation-contention",
-    "verify",
-    "check",
-    "all",
-    "p1-all",
-    "ablations",
-];
-
 /// One tracer + one wall-clock epoch, threaded through every artifact in a
 /// `repro` invocation so nested runs (e.g. `all`) share a timeline.
 pub struct TraceCtx {

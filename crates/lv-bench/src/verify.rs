@@ -6,8 +6,11 @@
 
 use lv_conv::{Algo, ALL_ALGOS};
 
-use crate::grid::{ensure_grid, find, policy_cycles, table1_layers, GridRow, P2_L2S, P2_VLENS};
+use crate::error::BenchError;
+use crate::grid::{find, policy_cycles, table1_layers, GridRow, P2_L2S, P2_VLENS};
+use crate::plan::{self, Executor};
 use crate::selector::{evaluate_selector, tuned_params};
+use crate::trace::TraceCtx;
 
 /// Outcome of one claim check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +62,11 @@ fn model_total(rows: &[GridRow], model: &str, vlen: usize, l2: usize, pol: Optio
         .sum()
 }
 
-/// Run every claim check against the Paper II grid (and the Paper I grid
-/// when present). Returns the claim list; the caller renders it.
-pub fn verify(scale: f64) -> Vec<Claim> {
-    let rows = ensure_grid("grid", scale, false, true);
+/// Run every claim check against the Paper II grid (and the Paper I sweep
+/// when the cell cache already covers it). Returns the claim list; the
+/// caller renders it.
+pub fn verify(scale: f64, exec: &Executor, ctx: &TraceCtx) -> Result<Vec<Claim>, BenchError> {
+    let rows = exec.run(&plan::paper2_plan(scale), ctx)?.rows;
     let mut claims = Vec::new();
 
     // ---- Fig 1/2: per-layer winners at the 512b/1MB baseline.
@@ -277,8 +281,16 @@ pub fn verify(scale: f64) -> Vec<Claim> {
         }
     }
 
-    // ---- Paper I (only when its grid is cached).
-    if let Some(p1) = crate::grid::load_grid("p1grid", scale) {
+    // ---- Paper I (only when the cell cache already covers its sweep —
+    // the executor's coverage probe is the cache-era version of "the
+    // p1grid CSV exists": verify never pays for the long-VL sweep itself).
+    let p1_plan = plan::p1_dec_plan(scale);
+    let p1_covered = {
+        let (cached, total) = exec.coverage(&p1_plan);
+        total > 0 && cached == total
+    };
+    if p1_covered {
+        let p1 = exec.run(&p1_plan, ctx)?.rows;
         let total = |vlen: usize, l2: usize| -> u64 {
             p1.iter()
                 .filter(|r| r.model == "yolov3-20/dec" && r.vlen_bits == vlen && r.l2_mib == l2)
@@ -313,7 +325,7 @@ pub fn verify(scale: f64) -> Vec<Claim> {
         });
     }
 
-    claims
+    Ok(claims)
 }
 
 /// Render claims as a report string.

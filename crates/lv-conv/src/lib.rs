@@ -44,3 +44,10 @@ pub use algo::{prepare_weights, run_conv, run_conv_batch, Algo, PreparedWeights,
 pub use direct::DirectVariant;
 pub use gemm3::gemm3_kernel_unrolled;
 pub use gemm6::Gemm6Blocking;
+
+/// Revision of the kernel implementations. Bump whenever a change to this
+/// crate can alter the cycles a kernel spends on a given machine (loop
+/// order, blocking, instruction selection): content-addressed result
+/// caches (`lv-bench::plan`) salt their keys with it, so every cached cell
+/// is resimulated after a kernel change instead of silently reused.
+pub const KERNEL_REV: u32 = 1;

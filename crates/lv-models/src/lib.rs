@@ -26,7 +26,9 @@ mod model;
 mod runner;
 pub mod zoo;
 
-pub use measure::{best_algo, measure_all_algos, measure_layer, LayerMeasurement};
+pub use measure::{
+    best_algo, measure_all_algos, measure_cell, measure_layer, CellMetrics, LayerMeasurement,
+};
 pub use model::{Activation, Layer, LayerKind, Model, ModelBuilder};
 pub use runner::{
     effective_algo, generate_weights, network_input, run_network, run_network_captured,

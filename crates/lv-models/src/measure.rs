@@ -61,6 +61,32 @@ pub fn measure_layer(cfg: &MachineConfig, s: &ConvShape, algo: Algo) -> Option<L
     })
 }
 
+/// The metrics a sweep cell persists: exactly the values `lv-bench`'s
+/// `GridRow` carries per point, and nothing machine-local (no `Stats`,
+/// whose cache counters depend on host heap addresses). This is the
+/// adapter the content-addressed cell cache serializes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Average consumed vector length (elements).
+    pub avg_vl: f64,
+    /// L2 miss rate in [0, 1].
+    pub l2_miss_rate: f64,
+}
+
+impl From<&LayerMeasurement> for CellMetrics {
+    fn from(m: &LayerMeasurement) -> Self {
+        Self { cycles: m.cycles, avg_vl: m.avg_vl, l2_miss_rate: m.l2_miss_rate }
+    }
+}
+
+/// [`measure_layer`] narrowed to the cacheable [`CellMetrics`] triple;
+/// `None` when the algorithm does not apply to the layer.
+pub fn measure_cell(cfg: &MachineConfig, s: &ConvShape, algo: Algo) -> Option<CellMetrics> {
+    measure_layer(cfg, s, algo).map(|m| CellMetrics::from(&m))
+}
+
 /// Measure a layer under every applicable algorithm; returns
 /// `(algo, measurement)` pairs in [`lv_conv::ALL_ALGOS`] order.
 pub fn measure_all_algos(cfg: &MachineConfig, s: &ConvShape) -> Vec<LayerMeasurement> {

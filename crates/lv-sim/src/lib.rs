@@ -43,10 +43,20 @@ mod machine;
 mod stats;
 
 pub use cache::Cache;
-pub use config::{CacheGeometry, CostModel, MachineConfig, VpuStyle, KIB, MIB};
+pub use config::{
+    fnv1a, CacheGeometry, ConfigError, CostModel, MachineConfig, MachineConfigBuilder, VpuStyle,
+    KIB, MIB,
+};
 pub use lint::LintState;
 pub use machine::{Machine, VReg, NUM_VREGS};
 pub use stats::Stats;
+
+/// Revision of the timing model. Bump whenever a change to this crate can
+/// alter simulated cycle counts or counters (cost model, cache policy,
+/// beat accounting): content-addressed result caches (`lv-bench::plan`)
+/// salt their keys with it, so stale cells are invalidated instead of
+/// silently reused.
+pub const TIMING_REV: u32 = 1;
 
 // Re-exported so instrumented downstream crates name one tracing API.
 pub use lv_trace::{Tracer, TrackId};

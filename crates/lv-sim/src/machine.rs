@@ -59,11 +59,20 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Build a machine for a hardware design point.
+    /// Build a machine for a hardware design point, panicking on an
+    /// invalid one (see [`Machine::try_new`] for the fallible form).
     pub fn new(cfg: MachineConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+    }
+
+    /// Build a machine, rejecting design points that fail
+    /// [`MachineConfig::validate`] — the same shapes the opt-in invariant
+    /// lint would trip over mid-run (zero-set caches, lanes that can never
+    /// retire, non-power-of-two vector lengths).
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, crate::ConfigError> {
+        cfg.validate()?;
         let mvl = cfg.vlen_elems();
-        assert!(mvl >= 2 && mvl.is_power_of_two(), "vlen must be a power-of-two #elements");
-        Self {
+        Ok(Self {
             mvl,
             vl: mvl,
             vregs: vec![0.0; NUM_VREGS * mvl].into_boxed_slice(),
@@ -78,7 +87,7 @@ impl Machine {
             region_stack: Vec::new(),
             lint: None,
             cfg,
-        }
+        })
     }
 
     // ---------------------------------------------------------------- lint

@@ -53,8 +53,7 @@ proptest! {
         let data = vec![1.0f32; n];
         let mut last = u64::MAX;
         for lanes in [2usize, 4, 8, 16] {
-            let mut cfg = MachineConfig::rvv_integrated(2048, 1);
-            cfg.lanes = lanes;
+            let cfg = MachineConfig::builder().vlen_bits(2048).lanes(lanes).build().unwrap();
             let mut m = Machine::new(cfg);
             let c = fma_workload(&mut m, n, &data);
             prop_assert!(c <= last);

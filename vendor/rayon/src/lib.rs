@@ -1,16 +1,59 @@
-//! Offline shim for `rayon`, covering the one pattern this workspace uses:
-//! `vec.into_par_iter().map(..)/.filter_map(..).collect()`.
+//! Offline shim for `rayon`, covering the patterns this workspace uses:
+//! `vec.into_par_iter().map(..)/.filter_map(..).collect()` plus
+//! `ThreadPoolBuilder::new().num_threads(n).build_global()`.
 //!
 //! Work is distributed over `std::thread::scope` workers pulling from a
 //! shared index-tagged worklist; results are re-sorted by input index, so
 //! collection order matches the sequential iterator exactly. On a single
 //! hardware thread this degenerates to a sequential pass.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The usual glob-import entry point.
 pub mod prelude {
     pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Global worker-count override installed by [`ThreadPoolBuilder::build_global`];
+/// 0 means "use [`std::thread::available_parallelism`]".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// API-compatible subset of rayon's global pool configuration. Only
+/// `num_threads` is honoured; everything else about real rayon's pool
+/// (work stealing granularity, stack sizes) has no analogue here.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 restores the host-parallelism default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike real rayon this cannot
+    /// fail and may be called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), std::convert::Infallible> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The configured worker count: the `build_global` override if set, else
+/// host parallelism.
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
 }
 
 /// Conversion into a (shim) parallel iterator.
@@ -123,8 +166,7 @@ fn run_tagged<T: Send, U: Send>(
     input: Vec<(usize, T)>,
     f: impl Fn(T) -> Option<U> + Sync,
 ) -> Vec<(usize, U)> {
-    let threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(input.len().max(1));
+    let threads = current_num_threads().min(input.len().max(1));
     if threads <= 1 {
         return input.into_iter().filter_map(|(i, v)| f(v).map(|u| (i, u))).collect();
     }
@@ -172,5 +214,17 @@ mod tests {
         let v: Vec<usize> = Vec::new();
         let out: Vec<usize> = v.into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn forced_multi_thread_pool_preserves_order() {
+        // Even on a single-core host, an explicit num_threads > 1 takes the
+        // threaded path; order must still match the sequential iterator.
+        super::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        let v: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..258).collect::<Vec<_>>());
+        super::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
     }
 }
