@@ -8,8 +8,9 @@
 //! repro p1grid         # warm the Paper I slices of the cell cache
 //! ```
 //! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
-//! selector fig9 fig10 fig11 fig12 serve p1-blocks p1-vl p1-cache p1-lanes
-//! p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify check
+//! selector fig9 fig10 fig11 fig12 serve fleet p1-blocks p1-vl p1-cache
+//! p1-lanes p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify
+//! check
 //!
 //! Every sweep-backed artifact runs through one shared
 //! [`lv_bench::plan::Executor`] with a persistent content-addressed cell
@@ -25,7 +26,11 @@
 //!
 //! `serve` runs the saturation sweep of the serving engine (bounded
 //! queue, dynamic batching, selector-driven service times) and writes
-//! `results/serve.txt` / `results/serve.csv`.
+//! `results/serve.txt` / `results/serve.csv`. `fleet` simulates a
+//! cluster of heterogeneous Pareto-point chips behind a router
+//! (round-robin / JSQ / power-of-two / model-affinity, SLO admission,
+//! reactive autoscaling) and writes `results/fleet.txt` /
+//! `results/fleet.csv`. Both take `--seed N` to resample arrivals.
 //!
 //! `--trace FILE` records the run with `lv-trace` and writes Chrome
 //! trace-event JSON (loadable in Perfetto / `chrome://tracing`): wall-clock
@@ -98,7 +103,7 @@ fn run(inv: &Invocation, exec: &Executor, ctx: &TraceCtx) -> Result<(), BenchErr
                 std::process::exit(1);
             }
         }
-        other => lv_bench::figures::run_experiment_traced(other, inv.scale, exec, ctx)?,
+        other => lv_bench::figures::run_experiment_traced(other, inv.scale, exec, ctx, inv.seed)?,
     }
     Ok(())
 }

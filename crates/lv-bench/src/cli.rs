@@ -27,6 +27,7 @@ pub const ARTIFACTS: &[&str] = &[
     "fig11",
     "fig12",
     "serve",
+    "fleet",
     "p1-vl",
     "p1-cache",
     "p1-lanes",
@@ -64,7 +65,8 @@ pub enum Flag {
     NoCache,
     /// `--jobs N` — worker threads for the sweep executor.
     Jobs,
-    /// `--seed N` — conformance-sweep RNG seed (`check` only).
+    /// `--seed N` — RNG seed: the conformance sweep (`check`) and the
+    /// serving artifacts' arrival processes (`serve`, `fleet`).
     Seed,
     /// `--deep` — larger conformance sweep (`check` only).
     Deep,
@@ -106,6 +108,9 @@ impl CliSpec {
     pub fn allowed_flags(artifact: &str) -> &'static [Flag] {
         match artifact {
             "check" => &[Flag::Seed, Flag::Deep, Flag::Trace],
+            "serve" | "fleet" => {
+                &[Flag::Scale, Flag::Force, Flag::Trace, Flag::NoCache, Flag::Jobs, Flag::Seed]
+            }
             _ => &[Flag::Scale, Flag::Force, Flag::Trace, Flag::NoCache, Flag::Jobs],
         }
     }
@@ -123,7 +128,7 @@ impl CliSpec {
     /// One-line usage string.
     pub fn usage() -> &'static str {
         "usage: repro <experiment|all|grid|p1grid> [--scale S] [--force] [--no-cache] \
-         [--jobs N] [--trace FILE]   (check: [--seed N] [--deep])"
+         [--jobs N] [--trace FILE]   (check: [--seed N] [--deep]; serve/fleet: [--seed N])"
     }
 }
 
@@ -293,6 +298,16 @@ mod tests {
     }
 
     #[test]
+    fn serving_artifacts_take_a_seed() {
+        for artifact in ["serve", "fleet"] {
+            let inv = parse(&argv(&[artifact, "--seed", "9", "--scale", "0.5"])).unwrap();
+            assert_eq!(inv.seed, 9);
+            assert_eq!(inv.scale, 0.5);
+        }
+        assert_eq!(parse(&argv(&["fleet"])).unwrap().seed, 42);
+    }
+
+    #[test]
     fn rejects_unknowns_with_exit2_worthy_errors() {
         assert_eq!(parse(&argv(&["nonesuch"])), Err(CliError::UnknownArtifact("nonesuch".into())));
         assert_eq!(
@@ -324,7 +339,7 @@ mod tests {
     #[test]
     fn listing_mentions_grid_commands_and_artifacts() {
         let l = CliSpec::listing();
-        for id in ["grid", "p1grid", "table1", "serve", "verify", "check", "p1-roofline"] {
+        for id in ["grid", "p1grid", "table1", "serve", "fleet", "verify", "check", "p1-roofline"] {
             assert!(l.contains(id), "{l}");
         }
     }

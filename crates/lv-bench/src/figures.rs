@@ -54,23 +54,26 @@ fn l2_plan(id: &str, model: Model, vlen: usize, scale: f64) -> SweepPlan {
     SweepPlan::new(id).layers(model).scale(scale).vlens(&[vlen]).l2s(&P2_L2S).algos(&ALL_ALGOS)
 }
 
-/// Dispatch an experiment by id with a fresh default executor and no
-/// tracing (see `repro --help` text for ids).
+/// Dispatch an experiment by id with a fresh default executor, the
+/// default seed and no tracing (see `repro --help` text for ids).
 pub fn run_experiment(id: &str, scale: f64, force: bool) -> Result<(), BenchError> {
     let exec = Executor::new(plan::ExecOptions { force, verbose: true, ..Default::default() });
-    run_experiment_traced(id, scale, &exec, &TraceCtx::disabled())
+    run_experiment_traced(id, scale, &exec, &TraceCtx::disabled(), 42)
 }
 
 /// [`run_experiment`] against a shared executor and trace context: each
 /// artifact gets a wall-clock span on the harness track, every grid slice
 /// goes through the executor's cell cache (so `all` simulates each unique
 /// cell at most once), and `fig1`/`fig2`/`serve` run an extra traced
-/// workload when the context is recording.
+/// workload when the context is recording. `seed` drives the stochastic
+/// artifacts (`serve` and `fleet` arrival processes, the `check` sweep);
+/// grid cells are deterministic and ignore it.
 pub fn run_experiment_traced(
     id: &str,
     scale: f64,
     exec: &Executor,
     ctx: &TraceCtx,
+    seed: u64,
 ) -> Result<(), BenchError> {
     let span = ctx.artifact_begin(id);
     let run = |p: &SweepPlan| exec.run(p, ctx).map(|o| o.rows);
@@ -107,7 +110,8 @@ pub fn run_experiment_traced(
         "fig10" => fig9_10(&run(&plan::paper2_plan(scale))?, "yolov3-20", "fig10")?,
         "fig11" => fig11(&run(&plan::paper2_plan(scale))?)?,
         "fig12" => fig12(&run(&plan::paper2_plan(scale))?)?,
-        "serve" => crate::serving::serve_report(&run(&plan::paper2_plan(scale))?, ctx),
+        "serve" => crate::serving::serve_report(&run(&plan::paper2_plan(scale))?, ctx, seed),
+        "fleet" => crate::fleet::fleet_report(scale, exec, ctx, seed)?,
         "p1-vl" => p1_vl(&run(&plan::p1_dec_plan(scale).l2s(&[1]))?),
         "p1-cache" => p1_cache(&run(&plan::p1_dec_plan(scale))?),
         "p1-lanes" => p1_lanes(&run(&plan::p1_lanes_plan(scale))?),
@@ -124,13 +128,13 @@ pub fn run_experiment_traced(
         "verify" => crate::verify::render(&crate::verify::verify(scale, exec, ctx)?),
         // Default-config sweep; `repro check` accepts --seed/--deep and
         // propagates the exit code (handled in the binary).
-        "check" => crate::check::check_text(42, false).0,
+        "check" => crate::check::check_text(seed, false).0,
         "all" => {
             for e in [
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                "dataset", "selector", "fig9", "fig10", "fig11", "fig12", "serve",
+                "dataset", "selector", "fig9", "fig10", "fig11", "fig12", "serve", "fleet",
             ] {
-                run_experiment_traced(e, scale, exec, ctx)?;
+                run_experiment_traced(e, scale, exec, ctx, seed)?;
             }
             ctx.artifact_end(span);
             return Ok(());
@@ -146,7 +150,7 @@ pub fn run_experiment_traced(
                 "p1-naive",
                 "p1-roofline",
             ] {
-                run_experiment_traced(e, scale, exec, ctx)?;
+                run_experiment_traced(e, scale, exec, ctx, seed)?;
             }
             ctx.artifact_end(span);
             return Ok(());
@@ -159,7 +163,7 @@ pub fn run_experiment_traced(
                 "ablation-unroll",
                 "ablation-contention",
             ] {
-                run_experiment_traced(e, scale, exec, ctx)?;
+                run_experiment_traced(e, scale, exec, ctx, seed)?;
             }
             ctx.artifact_end(span);
             return Ok(());

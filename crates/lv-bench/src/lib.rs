@@ -17,6 +17,7 @@ pub mod check;
 pub mod cli;
 pub mod error;
 pub mod figures;
+pub mod fleet;
 pub mod grid;
 pub mod plan;
 pub mod selector;

@@ -135,8 +135,11 @@ fn classes_for(services: &[ModelService], pick: Pick) -> Vec<RequestClass> {
 /// When `ctx` is recording, one extra short engine run (Optimal mix at
 /// 1.3x capacity, dynamic batching, deadline shedding) emits its request
 /// lifecycle into the trace; the sweep itself stays untraced so the
-/// reported numbers are identical with and without `--trace`.
-pub fn serve_report(rows: &[GridRow], ctx: &TraceCtx) -> String {
+/// reported numbers are identical with and without `--trace`. `seed`
+/// (default 42 = the historical hardcoded base) offsets every engine
+/// run's arrival stream, so `repro serve --seed N` resamples the whole
+/// sweep.
+pub fn serve_report(rows: &[GridRow], ctx: &TraceCtx, seed: u64) -> String {
     let eval = evaluate_selector(rows, tuned_params());
     let l2_mib = partition_l2(SHARED_L2_MIB, REPLICAS, &P2_L2S)
         .expect("64 MiB / 4 replicas lands on a measured L2 size");
@@ -189,7 +192,7 @@ pub fn serve_report(rows: &[GridRow], ctx: &TraceCtx) -> String {
                 offered,
                 BatchPolicy::none(),
                 0.0,
-                42 + (pi * fracs.len() + fi) as u64,
+                seed + (pi * fracs.len() + fi) as u64,
             );
             points.push(SweepPoint {
                 offered_rps: rep.offered_rps,
@@ -275,7 +278,7 @@ pub fn serve_report(rows: &[GridRow], ctx: &TraceCtx) -> String {
             1.5 * opt_cap,
             BatchPolicy::new(b, wait),
             setup_frac,
-            1000 + bi as u64,
+            seed + 1000 + bi as u64,
         );
         brows.push(vec![
             format!("{b}"),
@@ -313,7 +316,7 @@ pub fn serve_report(rows: &[GridRow], ctx: &TraceCtx) -> String {
             deadline_s: Some(8.0 * mean(|s| s.optimal_s)),
             batch: BatchPolicy::new(4, mean(|s| s.optimal_s)),
             batch_setup_frac: setup_frac,
-            seed: 7,
+            seed: seed.wrapping_add(7),
             slice_s: 0.0,
         };
         ServingEngine::new(cfg)

@@ -8,7 +8,8 @@
 //!
 //! * pid 0 — the harness itself, wall-clock microseconds;
 //! * pid 1 — simulated machines, 1 trace-µs ≡ 1 cycle (exact);
-//! * pid 2 — the serving engine, simulated seconds × 1e6.
+//! * pid 2 — the serving engine, simulated seconds × 1e6;
+//! * pid 3 — the fleet simulator, simulated seconds × 1e6.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +27,8 @@ pub const PID_HARNESS: u64 = 0;
 pub const PID_MACHINE: u64 = 1;
 /// Chrome-trace process id of the serving engine (second-clock events).
 pub const PID_SERVING: u64 = 2;
+/// Chrome-trace process id of the fleet simulator (second-clock events).
+pub const PID_FLEET: u64 = 3;
 
 /// One tracer + one wall-clock epoch, threaded through every artifact in a
 /// `repro` invocation so nested runs (e.g. `all`) share a timeline.

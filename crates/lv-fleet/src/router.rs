@@ -1,0 +1,123 @@
+//! Pluggable load balancing over the fleet's nodes. The router is pure
+//! state + a seeded RNG (power-of-two sampling), so routing decisions are
+//! deterministic per seed and independent of host parallelism.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::sim::FleetNode;
+
+/// A load-balancing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Cycle through the nodes regardless of state.
+    RoundRobin,
+    /// Send to the node with the fewest queued requests (ties to the
+    /// lowest index). Classic JSQ — blind to chip heterogeneity.
+    JoinShortestQueue,
+    /// Sample two distinct nodes, send to the shorter queue. The
+    /// d-choices trick: near-JSQ balance at O(1) state inspection.
+    PowerOfTwoChoices,
+    /// Prefer the chips that run this class fastest (within 25% of the
+    /// fleet-best service time), pick by expected delay among them, and
+    /// spill to the globally best expected delay when the preferred
+    /// queues are full. Heterogeneity-aware.
+    ModelAffinity,
+}
+
+/// Every policy, in report order.
+pub const ALL_POLICIES: [Policy; 4] = [
+    Policy::RoundRobin,
+    Policy::JoinShortestQueue,
+    Policy::PowerOfTwoChoices,
+    Policy::ModelAffinity,
+];
+
+impl Policy {
+    /// Short display name used in reports and CSV rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "round-robin",
+            Policy::JoinShortestQueue => "jsq",
+            Policy::PowerOfTwoChoices => "p2c",
+            Policy::ModelAffinity => "affinity",
+        }
+    }
+}
+
+/// The router: picks a node index for each arrival.
+#[derive(Debug)]
+pub struct Router {
+    policy: Policy,
+    rr_next: usize,
+    rng: StdRng,
+}
+
+impl Router {
+    /// New router; `seed` drives only power-of-two sampling.
+    pub fn new(policy: Policy, seed: u64) -> Self {
+        Self { policy, rr_next: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The policy this router runs.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Choose a node for a `class` request arriving at `now_s`.
+    pub fn pick(&mut self, nodes: &[FleetNode], class: usize, now_s: f64) -> usize {
+        debug_assert!(!nodes.is_empty());
+        match self.policy {
+            Policy::RoundRobin => {
+                let i = self.rr_next % nodes.len();
+                self.rr_next = self.rr_next.wrapping_add(1);
+                i
+            }
+            Policy::JoinShortestQueue => shortest_queue(nodes, 0..nodes.len()),
+            Policy::PowerOfTwoChoices => {
+                if nodes.len() == 1 {
+                    return 0;
+                }
+                let a = self.rng.gen_range(0..nodes.len());
+                let mut b = self.rng.gen_range(0..nodes.len() - 1);
+                if b >= a {
+                    b += 1;
+                }
+                if nodes[b].queue_len() < nodes[a].queue_len() {
+                    b
+                } else {
+                    a
+                }
+            }
+            Policy::ModelAffinity => {
+                let best_svc =
+                    nodes.iter().map(|n| n.service_s(class)).fold(f64::INFINITY, f64::min);
+                let preferred = (0..nodes.len())
+                    .filter(|&i| nodes[i].service_s(class) <= 1.25 * best_svc)
+                    .min_by(|&a, &b| {
+                        nodes[a]
+                            .expected_delay_s(class, now_s)
+                            .total_cmp(&nodes[b].expected_delay_s(class, now_s))
+                    })
+                    .expect("at least one node within 1.25x of the best");
+                if nodes[preferred].queue_full() {
+                    // Spill anywhere: the globally least expected delay.
+                    (0..nodes.len())
+                        .min_by(|&a, &b| {
+                            nodes[a]
+                                .expected_delay_s(class, now_s)
+                                .total_cmp(&nodes[b].expected_delay_s(class, now_s))
+                        })
+                        .expect("non-empty fleet")
+                } else {
+                    preferred
+                }
+            }
+        }
+    }
+}
+
+fn shortest_queue(nodes: &[FleetNode], range: std::ops::Range<usize>) -> usize {
+    range.min_by_key(|&i| (nodes[i].queue_len(), i)).expect("non-empty fleet")
+}

@@ -1,0 +1,610 @@
+//! The cluster event loop: one [`lv_serving::EngineNode`] per chip, all
+//! stepped against the workload trace's global clock, with routing,
+//! SLO-aware admission control and reactive autoscaling between steps.
+//!
+//! Drive order per arrival: every node advances to the arrival time
+//! (processing its dispatches and deadline sheds), the autoscaler
+//! observes each node's queue, the router picks a node, admission either
+//! rejects the request (expected delay already beyond the SLO) or offers
+//! it to the node's bounded queue. After the last arrival every node
+//! drains. The whole run is a pure function of the config — no wall
+//! clock, no host parallelism — so fleet reports are reproducible
+//! byte-for-byte under a fixed seed.
+
+use lv_serving::{
+    EngineNode, LatencyHistogram, LatencySummary, NodeConfig, NodeEvent, QueuedRequest,
+};
+use lv_trace::{Tracer, TrackId};
+use serde::{Deserialize, Serialize};
+
+use crate::autoscale::{AutoscalePolicy, Autoscaler, ScaleEvent};
+use crate::chip::ChipSpec;
+use crate::router::{Policy, Router};
+use crate::workload::WorkloadSpec;
+use crate::FleetError;
+
+/// Router RNG stream, derived from the workload seed so one `--seed`
+/// pins the whole run without correlating with arrival thinning.
+const ROUTER_SEED_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// One chip of the fleet at runtime: its design point plus the live
+/// serving node. The router reads these through the accessors below.
+#[derive(Debug)]
+pub struct FleetNode {
+    spec: ChipSpec,
+    node: EngineNode,
+    queue_capacity: usize,
+}
+
+impl FleetNode {
+    fn new(spec: ChipSpec, cfg: NodeConfig) -> Result<Self, FleetError> {
+        let queue_capacity = cfg.queue_capacity;
+        Ok(Self { node: EngineNode::new(cfg)?, spec, queue_capacity })
+    }
+
+    /// The chip this node runs on.
+    pub fn spec(&self) -> &ChipSpec {
+        &self.spec
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.node.queue_len()
+    }
+
+    /// Whether the next offer would bounce off the bounded queue.
+    pub fn queue_full(&self) -> bool {
+        self.node.queue_len() >= self.queue_capacity
+    }
+
+    /// Service time of one `class` request on this chip, seconds.
+    pub fn service_s(&self, class: usize) -> f64 {
+        self.spec.service_s[class]
+    }
+
+    /// Expected completion delay for a `class` request arriving now:
+    /// queueing estimate plus this chip's service time. What the
+    /// affinity router ranks by and admission control checks against
+    /// the SLO.
+    pub fn expected_delay_s(&self, class: usize, now_s: f64) -> f64 {
+        self.node.expected_wait_s(now_s) + self.service_s(class)
+    }
+}
+
+/// Everything a fleet run needs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The chips (design points) composing the fleet, in node order.
+    pub chips: Vec<ChipSpec>,
+    /// Load-balancing policy.
+    pub policy: Policy,
+    /// The arrival trace specification.
+    pub workload: WorkloadSpec,
+    /// End-to-end latency SLO, seconds (attainment is measured against
+    /// it; admission control and deadline shedding use it when enabled).
+    pub slo_s: f64,
+    /// Per-node admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Reject at the router when the picked node's expected delay
+    /// already exceeds the SLO (sheds load early instead of queueing
+    /// doomed work).
+    pub admission_control: bool,
+    /// Optional per-node deadline shedding inside the serving node.
+    pub deadline_s: Option<f64>,
+    /// Optional reactive scale-out.
+    pub autoscale: Option<AutoscalePolicy>,
+}
+
+impl FleetConfig {
+    /// A fleet with admission control and autoscaling off and a
+    /// 64-deep queue per node.
+    pub fn basic(chips: Vec<ChipSpec>, policy: Policy, workload: WorkloadSpec, slo_s: f64) -> Self {
+        Self {
+            chips,
+            policy,
+            workload,
+            slo_s,
+            queue_capacity: 64,
+            admission_control: false,
+            deadline_s: None,
+            autoscale: None,
+        }
+    }
+
+    /// Reject degenerate fleets with a typed error.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.chips.is_empty() {
+            return Err(FleetError::NoChips);
+        }
+        self.workload.validate()?;
+        let classes = self.workload.class_weights.len();
+        for chip in &self.chips {
+            chip.validate(classes)?;
+            self.node_config(chip).validate()?;
+        }
+        if !self.slo_s.is_finite() || self.slo_s <= 0.0 {
+            return Err(FleetError::InvalidSlo(self.slo_s));
+        }
+        Ok(())
+    }
+
+    fn node_config(&self, chip: &ChipSpec) -> NodeConfig {
+        NodeConfig {
+            deadline_s: self.deadline_s,
+            ..NodeConfig::basic(chip.replicas, self.queue_capacity)
+        }
+    }
+}
+
+/// Request drops by layer: the fleet adds an admission reason on top of
+/// the per-node queue-full and deadline reasons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetDrops {
+    /// Bounced off a node's bounded queue.
+    pub queue_full: u64,
+    /// Shed inside a node after its deadline passed.
+    pub deadline: u64,
+    /// Rejected at the router by SLO-aware admission control.
+    pub admission: u64,
+}
+
+impl FleetDrops {
+    /// All drops.
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.deadline + self.admission
+    }
+}
+
+/// Per-node slice of the fleet report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// Chip name.
+    pub name: String,
+    /// Requests this node served to completion.
+    pub completed: usize,
+    /// This node's p99 latency, seconds (0 if it served nothing).
+    pub p99_s: f64,
+    /// Busy time over peak-replica capacity for the makespan.
+    pub utilization: f64,
+    /// Most replicas ever active (after autoscaling).
+    pub peak_replicas: usize,
+    /// Deepest its queue got.
+    pub max_queue_depth: usize,
+    /// Silicon area at peak replicas, mm².
+    pub area_mm2: f64,
+}
+
+/// What a fleet run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Routing policy name.
+    pub policy: String,
+    /// Mean offered load, requests/second.
+    pub offered_rps: f64,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests served to completion fleet-wide.
+    pub completed: usize,
+    /// Completions over the makespan, requests/second.
+    pub achieved_rps: f64,
+    /// Fleet-wide latency summary — the exact
+    /// [`LatencyHistogram::merge`] of every node's replica histograms.
+    pub latency: LatencySummary,
+    /// The SLO the run was measured against, seconds.
+    pub slo_s: f64,
+    /// Fraction of *offered* requests completed within the SLO (drops
+    /// count against attainment).
+    pub slo_attainment: f64,
+    /// Drops by layer.
+    pub drops: FleetDrops,
+    /// Drops over offered requests.
+    pub drop_rate: f64,
+    /// Total fleet silicon at peak replica counts, mm².
+    pub area_mm2: f64,
+    /// Achieved throughput per unit silicon, requests/second/mm².
+    pub rps_per_mm2: f64,
+    /// Per-node breakdown, in chip order.
+    pub nodes: Vec<NodeSummary>,
+    /// Autoscaling actions, in time order.
+    pub scale_events: Vec<ScaleEvent>,
+}
+
+/// A validated, runnable fleet simulation.
+#[derive(Debug)]
+pub struct FleetSim {
+    cfg: FleetConfig,
+}
+
+impl FleetSim {
+    /// Validate the config and wrap it.
+    pub fn new(cfg: FleetConfig) -> Result<Self, FleetError> {
+        cfg.validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// Run without tracing.
+    pub fn run(&self) -> FleetReport {
+        self.run_traced(&Tracer::disabled(), 0)
+    }
+
+    /// Run, emitting router/node spans, queue-depth counters and drop
+    /// instants to `tracer` under Chrome-trace process id `pid`. With a
+    /// disabled tracer this is exactly [`FleetSim::run`].
+    pub fn run_traced(&self, tracer: &Tracer, pid: u64) -> FleetReport {
+        let c = &self.cfg;
+        let trace = tracer.is_enabled();
+        let router_track = TrackId::new(pid, 0);
+        let drops_track = TrackId::new(pid, 1);
+        let node_track = |i: usize| TrackId::new(pid, 2 + i as u64);
+        if trace {
+            tracer.name_process(pid, "fleet");
+            tracer.name_track(router_track, "router");
+            tracer.name_track(drops_track, "drops");
+            for (i, chip) in c.chips.iter().enumerate() {
+                tracer.name_track(node_track(i), &format!("node{i} {}", chip.name));
+            }
+        }
+
+        let arrivals = self.cfg.workload.generate().expect("validated at construction");
+        let mut nodes: Vec<FleetNode> = c
+            .chips
+            .iter()
+            .map(|chip| {
+                FleetNode::new(chip.clone(), c.node_config(chip)).expect("validated config")
+            })
+            .collect();
+        let mut router = Router::new(c.policy, c.workload.seed ^ ROUTER_SEED_SALT);
+        let mut autoscaler = c.autoscale.map(|p| Autoscaler::new(p, nodes.len()));
+        let mut scale_events = Vec::new();
+        let mut admission_drops = 0u64;
+
+        // Map one node's advance() output to trace events.
+        let emit = |i: usize, events: &[NodeEvent]| {
+            if !trace {
+                return;
+            }
+            for ev in events {
+                match ev {
+                    NodeEvent::Shed { at_s, shed, queue_len_after } => {
+                        let d_us = at_s * 1e6;
+                        for _ in shed {
+                            tracer.instant(drops_track, "drop:deadline", d_us, vec![]);
+                        }
+                        tracer.counter(node_track(i), "queue_depth", d_us, *queue_len_after as f64);
+                    }
+                    NodeEvent::Batch {
+                        replica,
+                        at_s,
+                        done_s,
+                        service_s,
+                        requests,
+                        queue_len_after,
+                    } => {
+                        let (d_us, done_us) = (at_s * 1e6, done_s * 1e6);
+                        let span = tracer.begin_args(
+                            node_track(i),
+                            &format!("batch x{}", requests.len()),
+                            d_us,
+                            vec![
+                                ("replica".into(), (*replica as u64).into()),
+                                ("service_s".into(), (*service_s).into()),
+                            ],
+                        );
+                        tracer.end(span, done_us);
+                        tracer.counter(node_track(i), "queue_depth", d_us, *queue_len_after as f64);
+                    }
+                }
+            }
+        };
+
+        let mut last_arrival = 0.0f64;
+        for arr in &arrivals {
+            let t = arr.t_s;
+            last_arrival = t;
+            for i in 0..nodes.len() {
+                let events = nodes[i].node.advance(t);
+                emit(i, &events);
+            }
+            if let Some(asc) = autoscaler.as_mut() {
+                for (i, fnode) in nodes.iter_mut().enumerate() {
+                    let active = fnode.node.active_replicas();
+                    if let Some(to) = asc.observe(i, fnode.node.queue_len(), active, t) {
+                        fnode.node.scale_to(to, t);
+                        scale_events.push(ScaleEvent { node: i, at_s: t, from: active, to });
+                        if trace {
+                            let t_us = t * 1e6;
+                            tracer.instant(
+                                router_track,
+                                "scale-up",
+                                t_us,
+                                vec![("node".into(), i.into()), ("to".into(), to.into())],
+                            );
+                            tracer.counter(node_track(i), "active_replicas", t_us, to as f64);
+                        }
+                    }
+                }
+            }
+            let i = router.pick(&nodes, arr.class, t);
+            let t_us = t * 1e6;
+            if c.admission_control && nodes[i].expected_delay_s(arr.class, t) > c.slo_s {
+                admission_drops += 1;
+                if trace {
+                    tracer.instant(
+                        drops_track,
+                        "drop:admission",
+                        t_us,
+                        vec![("node".into(), i.into())],
+                    );
+                }
+                continue;
+            }
+            let req = QueuedRequest {
+                id: arr.id,
+                arrival_s: t,
+                class: arr.class,
+                unit_cost_s: nodes[i].service_s(arr.class),
+            };
+            if nodes[i].node.offer(req) {
+                if trace {
+                    tracer.counter(node_track(i), "queue_depth", t_us, nodes[i].queue_len() as f64);
+                }
+            } else if trace {
+                tracer.instant(
+                    drops_track,
+                    "drop:queue_full",
+                    t_us,
+                    vec![("node".into(), i.into())],
+                );
+            }
+        }
+        for i in 0..nodes.len() {
+            let events = nodes[i].node.drain();
+            emit(i, &events);
+        }
+
+        self.report(&nodes, last_arrival, admission_drops, scale_events)
+    }
+
+    fn report(
+        &self,
+        nodes: &[FleetNode],
+        last_arrival: f64,
+        admission_drops: u64,
+        scale_events: Vec<ScaleEvent>,
+    ) -> FleetReport {
+        let c = &self.cfg;
+        let requests = c.workload.requests;
+        let makespan = nodes
+            .iter()
+            .map(|n| n.node.last_completion_s())
+            .fold(last_arrival, f64::max)
+            .max(f64::EPSILON);
+
+        // Exact fleet percentiles: merge every node's (already merged)
+        // per-replica histograms.
+        let mut merged = LatencyHistogram::new();
+        let mut drops = FleetDrops { admission: admission_drops, ..FleetDrops::default() };
+        let mut area_mm2 = 0.0;
+        let mut summaries = Vec::with_capacity(nodes.len());
+        for n in nodes {
+            let node_hist = n.node.merged_latency();
+            merged.merge(&node_hist);
+            let d = n.node.drops();
+            drops.queue_full += d.queue_full;
+            drops.deadline += d.deadline_exceeded;
+            let area = n.spec.area_mm2(n.node.peak_replicas());
+            area_mm2 += area;
+            summaries.push(NodeSummary {
+                name: n.spec.name.clone(),
+                completed: node_hist.len(),
+                p99_s: if node_hist.is_empty() { 0.0 } else { node_hist.summary().p99_s },
+                utilization: n.node.busy_s() / (n.node.peak_replicas() as f64 * makespan),
+                peak_replicas: n.node.peak_replicas(),
+                max_queue_depth: n.node.max_queue_depth(),
+                area_mm2: area,
+            });
+        }
+        let completed = merged.len();
+        let achieved_rps = completed as f64 / makespan;
+        FleetReport {
+            policy: c.policy.name().to_string(),
+            offered_rps: c.workload.rate_rps,
+            requests,
+            completed,
+            achieved_rps,
+            latency: merged.summary(),
+            slo_s: c.slo_s,
+            slo_attainment: merged.count_within(c.slo_s) as f64 / requests as f64,
+            drops,
+            drop_rate: drops.total() as f64 / requests as f64,
+            area_mm2,
+            rps_per_mm2: achieved_rps / area_mm2,
+            nodes: summaries,
+            scale_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ALL_POLICIES;
+
+    fn chip(name: &str, vlen: usize, replicas: usize, svc: &[f64]) -> ChipSpec {
+        ChipSpec {
+            name: name.into(),
+            vlen_bits: vlen,
+            l2_mib: 4,
+            replicas,
+            service_s: svc.to_vec(),
+        }
+    }
+
+    fn small_fleet() -> Vec<ChipSpec> {
+        vec![
+            chip("small", 1024, 2, &[0.080, 0.040]),
+            chip("knee", 2048, 2, &[0.040, 0.020]),
+            chip("big", 4096, 2, &[0.025, 0.012]),
+        ]
+    }
+
+    fn workload(rate: f64, requests: usize) -> WorkloadSpec {
+        WorkloadSpec::basic(rate, requests, 2, 42)
+    }
+
+    #[test]
+    fn rejects_degenerate_fleets() {
+        let wl = workload(50.0, 100);
+        assert!(matches!(
+            FleetSim::new(FleetConfig::basic(vec![], Policy::RoundRobin, wl.clone(), 0.5)),
+            Err(FleetError::NoChips)
+        ));
+        assert!(matches!(
+            FleetSim::new(FleetConfig::basic(small_fleet(), Policy::RoundRobin, wl.clone(), 0.0)),
+            Err(FleetError::InvalidSlo(_))
+        ));
+        let mut chips = small_fleet();
+        chips[1].service_s.pop();
+        assert!(matches!(
+            FleetSim::new(FleetConfig::basic(chips, Policy::RoundRobin, wl, 0.5)),
+            Err(FleetError::ClassMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = FleetConfig {
+            autoscale: Some(AutoscalePolicy {
+                breach_depth: 8,
+                sustain_s: 0.5,
+                max_replicas: 4,
+                cooldown_s: 1.0,
+            }),
+            admission_control: true,
+            ..FleetConfig::basic(
+                small_fleet(),
+                Policy::PowerOfTwoChoices,
+                workload(250.0, 4000),
+                0.25,
+            )
+        };
+        let a = FleetSim::new(cfg.clone()).unwrap().run();
+        let b = FleetSim::new(cfg).unwrap().run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.scale_events, b.scale_events);
+        assert_eq!(a.latency.p99_s, b.latency.p99_s);
+        assert_eq!(a.achieved_rps, b.achieved_rps);
+    }
+
+    #[test]
+    fn all_policies_serve_a_light_load_without_drops() {
+        for policy in ALL_POLICIES {
+            let sim =
+                FleetSim::new(FleetConfig::basic(small_fleet(), policy, workload(30.0, 2000), 0.5))
+                    .unwrap();
+            let r = sim.run();
+            assert_eq!(r.completed, 2000, "{} dropped requests", policy.name());
+            assert_eq!(r.drops.total(), 0);
+            assert!(r.slo_attainment > 0.99, "{}: {}", policy.name(), r.slo_attainment);
+            assert!(r.area_mm2 > 0.0 && r.rps_per_mm2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn affinity_beats_round_robin_on_a_skewed_fleet() {
+        // Class 0 runs 8x slower on the small chip than the big one; the
+        // affinity router keeps class 0 off the small chip while
+        // round-robin blindly spreads it.
+        let chips =
+            vec![chip("small", 1024, 2, &[0.200, 0.020]), chip("big", 4096, 2, &[0.025, 0.010])];
+        let wl = workload(60.0, 4000);
+        let run = |policy| {
+            FleetSim::new(FleetConfig::basic(chips.clone(), policy, wl.clone(), 0.4)).unwrap().run()
+        };
+        let rr = run(Policy::RoundRobin);
+        let aff = run(Policy::ModelAffinity);
+        assert!(
+            aff.latency.p99_s < rr.latency.p99_s,
+            "affinity p99 {} >= rr p99 {}",
+            aff.latency.p99_s,
+            rr.latency.p99_s
+        );
+        assert!(aff.slo_attainment >= rr.slo_attainment);
+    }
+
+    #[test]
+    fn admission_control_sheds_early_and_cuts_tail_latency() {
+        // 2x overload on one small node: without admission the bounded
+        // queue stays saturated and every served request eats the full
+        // queueing delay; with it, doomed requests bounce at the router.
+        let chips = vec![chip("small", 1024, 1, &[0.050, 0.050])];
+        let wl = workload(40.0, 3000);
+        let base = FleetConfig::basic(chips, Policy::JoinShortestQueue, wl, 0.3);
+        let open = FleetSim::new(base.clone()).unwrap().run();
+        let gated = FleetSim::new(FleetConfig { admission_control: true, ..base }).unwrap().run();
+        assert!(gated.drops.admission > 0);
+        assert!(
+            gated.latency.p99_s < open.latency.p99_s,
+            "admission p99 {} >= open p99 {}",
+            gated.latency.p99_s,
+            open.latency.p99_s
+        );
+        // Early shedding converts queue-full drops into admission drops.
+        assert!(gated.drops.queue_full < open.drops.queue_full);
+    }
+
+    #[test]
+    fn autoscaler_adds_replicas_and_improves_attainment() {
+        let chips = vec![chip("knee", 2048, 1, &[0.040, 0.020])];
+        let wl = workload(60.0, 3000); // ~2x one replica's capacity
+        let base = FleetConfig::basic(chips, Policy::JoinShortestQueue, wl, 0.3);
+        let fixed = FleetSim::new(base.clone()).unwrap().run();
+        let scaled = FleetSim::new(FleetConfig {
+            autoscale: Some(AutoscalePolicy {
+                breach_depth: 4,
+                sustain_s: 0.2,
+                max_replicas: 4,
+                cooldown_s: 0.5,
+            }),
+            ..base
+        })
+        .unwrap()
+        .run();
+        assert!(!scaled.scale_events.is_empty());
+        assert!(scaled.nodes[0].peak_replicas > 1);
+        assert!(scaled.slo_attainment > fixed.slo_attainment);
+        // Peak silicon is billed: the scaled fleet is bigger.
+        assert!(scaled.area_mm2 > fixed.area_mm2);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_fleet_events() {
+        let cfg = FleetConfig {
+            admission_control: true,
+            ..FleetConfig::basic(small_fleet(), Policy::ModelAffinity, workload(250.0, 2000), 0.2)
+        };
+        let plain = FleetSim::new(cfg.clone()).unwrap().run();
+        let tracer = Tracer::enabled();
+        let traced = FleetSim::new(cfg).unwrap().run_traced(&tracer, 3);
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.latency.p99_s, traced.latency.p99_s);
+        assert_eq!(plain.drops, traced.drops);
+        assert!(!tracer.snapshot_spans().is_empty(), "batch spans expected");
+        let points = tracer.snapshot_points();
+        assert!(
+            points.iter().any(|p| matches!(
+                p,
+                lv_trace::PointEvent::Counter { name, .. } if name == "queue_depth"
+            )),
+            "queue-depth counters expected"
+        );
+        assert!(
+            points.iter().any(|p| matches!(
+                p,
+                lv_trace::PointEvent::Instant { name, .. } if name == "drop:admission"
+            )),
+            "admission-drop instants expected"
+        );
+    }
+}

@@ -24,12 +24,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{batch_service_time, BatchPolicy};
+use crate::batch::BatchPolicy;
 use crate::metrics::{
-    DropReason, DropStats, LatencyHistogram, LatencySummary, ReplicaCounters, SeriesRecorder,
-    SliceStat,
+    DropStats, LatencyHistogram, LatencySummary, ReplicaCounters, SeriesRecorder, SliceStat,
 };
-use crate::queue::{AdmissionQueue, QueuedRequest};
+use crate::node::{EngineNode, NodeConfig, NodeEvent};
+use crate::queue::QueuedRequest;
 use crate::ServingError;
 
 /// One class of requests (e.g. one model) in the traffic mix.
@@ -124,16 +124,20 @@ impl EngineConfig {
         if !self.classes.iter().any(|c| c.weight > 0.0) {
             return Err(ServingError::NoClasses);
         }
-        if self.queue_capacity == 0 {
-            return Err(ServingError::ZeroQueueCapacity);
+        // The server-side fields share NodeConfig's validation (zero
+        // replicas / queue / batch, setup fraction, non-positive deadline).
+        self.node_config().validate()
+    }
+
+    /// The node-side subset of this config (see [`crate::node`]).
+    pub fn node_config(&self) -> NodeConfig {
+        NodeConfig {
+            replicas: self.replicas,
+            queue_capacity: self.queue_capacity,
+            deadline_s: self.deadline_s,
+            batch: self.batch,
+            batch_setup_frac: self.batch_setup_frac,
         }
-        if self.batch.max_batch == 0 {
-            return Err(ServingError::ZeroBatch);
-        }
-        if !(0.0..1.0).contains(&self.batch_setup_frac) {
-            return Err(ServingError::InvalidSetupFrac(self.batch_setup_frac));
-        }
-        Ok(())
     }
 }
 
@@ -150,8 +154,12 @@ pub struct EngineReport {
     pub drops: DropStats,
     /// Fraction of arrivals dropped (either reason).
     pub drop_rate: f64,
-    /// End-to-end latency summary of completed requests.
+    /// End-to-end latency summary of completed requests: the per-replica
+    /// histograms folded with [`LatencyHistogram::merge`] (exact).
     pub latency: LatencySummary,
+    /// Per-replica latency summaries, index-aligned with
+    /// [`EngineReport::replica_counters`].
+    pub replica_latency: Vec<LatencySummary>,
     /// Mean executed batch size.
     pub mean_batch_size: f64,
     /// Mean replica utilization over the makespan, [0, 1].
@@ -224,16 +232,82 @@ impl ServingEngine {
             (c.requests as f64 / c.arrival_rate / 20.0).max(1e-6)
         };
 
-        let mut queue = AdmissionQueue::new(c.queue_capacity, c.deadline_s);
-        let mut free_at = vec![0.0f64; c.replicas];
-        let mut counters = vec![ReplicaCounters::default(); c.replicas];
-        let mut drops = DropStats::default();
-        let mut latencies = LatencyHistogram::new();
+        let mut node = EngineNode::new(self.cfg.node_config()).expect("validated at construction");
         let mut series = SeriesRecorder::new(slice_s);
-        let mut batches = 0u64;
-        let mut batched_requests = 0u64;
-        let mut last_completion = 0.0f64;
         let mut last_arrival = 0.0f64;
+
+        // Map node events (sheds, batch launches) to trace emissions and
+        // the utilization / queue-depth series, in chronological order.
+        let process = |events: Vec<NodeEvent>, series: &mut SeriesRecorder| {
+            for ev in events {
+                match ev {
+                    NodeEvent::Shed { at_s, shed, queue_len_after } => {
+                        let d_us = at_s * 1e6;
+                        if trace {
+                            for r in &shed {
+                                tracer.async_end(pid, r.id, "queue", d_us);
+                                tracer.instant(drops_track, "drop:deadline", d_us, vec![]);
+                                tracer.async_end(pid, r.id, "request", d_us);
+                            }
+                        }
+                        series.note_depth(at_s, queue_len_after);
+                        if trace {
+                            tracer.counter(
+                                queue_track,
+                                "queue_depth",
+                                d_us,
+                                queue_len_after as f64,
+                            );
+                        }
+                    }
+                    NodeEvent::Batch {
+                        replica,
+                        at_s,
+                        done_s,
+                        service_s,
+                        requests,
+                        queue_len_after,
+                    } => {
+                        series.note_depth(at_s, queue_len_after);
+                        series.add_busy(at_s, done_s);
+                        if trace {
+                            let (d_us, done_us) = (at_s * 1e6, done_s * 1e6);
+                            let replica_track = TrackId::new(pid, 2 + replica as u64);
+                            let span = tracer.begin_args(
+                                replica_track,
+                                &format!("batch x{}", requests.len()),
+                                d_us,
+                                vec![
+                                    ("batch_size".into(), (requests.len() as u64).into()),
+                                    ("service_s".into(), service_s.into()),
+                                ],
+                            );
+                            tracer.end(span, done_us);
+                            for r in &requests {
+                                tracer.async_end(pid, r.id, "queue", d_us);
+                                tracer.async_begin(
+                                    pid,
+                                    r.id,
+                                    "batch",
+                                    d_us,
+                                    vec![("replica".into(), (replica as u64).into())],
+                                );
+                                tracer.async_begin(pid, r.id, "execute", d_us, vec![]);
+                                tracer.async_end(pid, r.id, "execute", done_us);
+                                tracer.async_end(pid, r.id, "batch", done_us);
+                                tracer.async_end(pid, r.id, "request", done_us);
+                            }
+                            tracer.counter(
+                                queue_track,
+                                "queue_depth",
+                                d_us,
+                                queue_len_after as f64,
+                            );
+                        }
+                    }
+                }
+            }
+        };
 
         // Arrival generator: exponential inter-arrival, weighted class pick.
         let mut t_arr = 0.0f64;
@@ -273,137 +347,47 @@ impl ServingEngine {
             None
         };
 
-        loop {
-            // Earliest-free replica (work-conserving least-loaded dispatch).
-            let (ri, &free) = free_at
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("at least one replica");
-
-            // When could the next batch launch?
-            let dispatch_at = if queue.is_empty() {
-                None
-            } else if queue.len() >= c.batch.max_batch {
-                // Size trigger: full at the arrival of the max_batch-th item.
-                let full_at = queue
-                    .arrival_at(c.batch.max_batch - 1)
-                    .expect("queue holds at least max_batch items");
-                Some(free.max(full_at))
-            } else {
-                // Time trigger: the head has waited long enough.
-                let head = queue.head_arrival().expect("queue non-empty");
-                Some(free.max(head + c.batch.max_wait_s))
-            };
-
-            match (&next_arrival, dispatch_at) {
-                (None, None) => break,
-                (Some(arr), d) if d.is_none() || arr.arrival_s <= d.expect("some") => {
-                    // Process the arrival.
-                    let arr = *arr;
-                    last_arrival = arr.arrival_s;
-                    let t_us = arr.arrival_s * 1e6;
-                    if queue.try_admit(arr) {
-                        series.note_depth(arr.arrival_s, queue.len());
-                        if trace {
-                            let class_name = c.classes[arr.class].name.as_str();
-                            tracer.async_begin(
-                                pid,
-                                arr.id,
-                                "request",
-                                t_us,
-                                vec![("class".into(), class_name.into())],
-                            );
-                            tracer.async_begin(pid, arr.id, "queue", t_us, vec![]);
-                            tracer.counter(queue_track, "queue_depth", t_us, queue.len() as f64);
-                        }
-                    } else {
-                        drops.record(DropReason::QueueFull);
-                        if trace {
-                            tracer.instant(drops_track, "drop:queue_full", t_us, vec![]);
-                        }
-                    }
-                    next_arrival = if remaining > 0 {
-                        remaining -= 1;
-                        Some(gen_arrival(&mut rng, &mut t_arr, &mut issued))
-                    } else {
-                        None
-                    };
+        // The node advances to each arrival (processing every dispatch
+        // eligible strictly before it — ties go to the arrival so batches
+        // fill greedily), then the arrival is offered; when arrivals run
+        // out, the node drains its backlog.
+        while let Some(arr) = next_arrival {
+            process(node.advance(arr.arrival_s), &mut series);
+            last_arrival = arr.arrival_s;
+            let t_us = arr.arrival_s * 1e6;
+            if node.offer(arr) {
+                series.note_depth(arr.arrival_s, node.queue_len());
+                if trace {
+                    let class_name = c.classes[arr.class].name.as_str();
+                    tracer.async_begin(
+                        pid,
+                        arr.id,
+                        "request",
+                        t_us,
+                        vec![("class".into(), class_name.into())],
+                    );
+                    tracer.async_begin(pid, arr.id, "queue", t_us, vec![]);
+                    tracer.counter(queue_track, "queue_depth", t_us, node.queue_len() as f64);
                 }
-                (_, Some(d)) => {
-                    // Shed queued work whose deadline passed before `d`.
-                    let shed = queue.shed_expired(d);
-                    if !shed.is_empty() {
-                        let d_us = d * 1e6;
-                        for r in &shed {
-                            drops.record(DropReason::DeadlineExceeded);
-                            if trace {
-                                tracer.async_end(pid, r.id, "queue", d_us);
-                                tracer.instant(drops_track, "drop:deadline", d_us, vec![]);
-                                tracer.async_end(pid, r.id, "request", d_us);
-                            }
-                        }
-                        series.note_depth(d, queue.len());
-                        if trace {
-                            tracer.counter(queue_track, "queue_depth", d_us, queue.len() as f64);
-                        }
-                        continue; // head changed — re-evaluate the trigger
-                    }
-                    let batch = queue.pop_batch(c.batch.max_batch);
-                    debug_assert!(!batch.is_empty());
-                    series.note_depth(d, queue.len());
-                    let costs: Vec<f64> = batch.iter().map(|r| r.unit_cost_s).collect();
-                    let svc = batch_service_time(&costs, c.batch_setup_frac);
-                    let done = d + svc;
-                    free_at[ri] = done;
-                    counters[ri].batches += 1;
-                    counters[ri].requests += batch.len() as u64;
-                    counters[ri].busy_s += svc;
-                    series.add_busy(d, done);
-                    batches += 1;
-                    batched_requests += batch.len() as u64;
-                    if trace {
-                        let (d_us, done_us) = (d * 1e6, done * 1e6);
-                        let replica_track = TrackId::new(pid, 2 + ri as u64);
-                        let span = tracer.begin_args(
-                            replica_track,
-                            &format!("batch x{}", batch.len()),
-                            d_us,
-                            vec![
-                                ("batch_size".into(), (batch.len() as u64).into()),
-                                ("service_s".into(), svc.into()),
-                            ],
-                        );
-                        tracer.end(span, done_us);
-                        for r in &batch {
-                            tracer.async_end(pid, r.id, "queue", d_us);
-                            tracer.async_begin(
-                                pid,
-                                r.id,
-                                "batch",
-                                d_us,
-                                vec![("replica".into(), (ri as u64).into())],
-                            );
-                            tracer.async_begin(pid, r.id, "execute", d_us, vec![]);
-                            tracer.async_end(pid, r.id, "execute", done_us);
-                            tracer.async_end(pid, r.id, "batch", done_us);
-                            tracer.async_end(pid, r.id, "request", done_us);
-                        }
-                        tracer.counter(queue_track, "queue_depth", d_us, queue.len() as f64);
-                    }
-                    for r in &batch {
-                        latencies.record(done - r.arrival_s);
-                    }
-                    last_completion = last_completion.max(done);
-                }
-                // (Some, None) always satisfies the arrival arm's guard.
-                _ => unreachable!("arrival with no dispatch is handled above"),
+            } else if trace {
+                tracer.instant(drops_track, "drop:queue_full", t_us, vec![]);
             }
+            next_arrival = if remaining > 0 {
+                remaining -= 1;
+                Some(gen_arrival(&mut rng, &mut t_arr, &mut issued))
+            } else {
+                None
+            };
         }
+        process(node.drain(), &mut series);
 
-        let completed = latencies.len();
-        let makespan = last_completion.max(last_arrival).max(f64::EPSILON);
-        let busy: f64 = counters.iter().map(|r| r.busy_s).sum();
+        // Per-replica histograms merge exactly into the global summary
+        // (LatencyHistogram keeps raw samples).
+        let merged = node.merged_latency();
+        let completed = merged.len();
+        let makespan = node.last_completion_s().max(last_arrival).max(f64::EPSILON);
+        let drops = node.drops();
+        let (batches, batched_requests) = node.batch_counts();
         let max_queue_depth = series.max_depth();
         EngineReport {
             offered_rps: c.arrival_rate,
@@ -411,14 +395,15 @@ impl ServingEngine {
             completed,
             drops,
             drop_rate: drops.total() as f64 / c.requests as f64,
-            latency: latencies.summary(),
+            latency: merged.summary(),
+            replica_latency: node.latencies().iter().map(LatencyHistogram::summary).collect(),
             mean_batch_size: if batches > 0 {
                 batched_requests as f64 / batches as f64
             } else {
                 0.0
             },
-            utilization: busy / (makespan * c.replicas as f64),
-            replica_counters: counters,
+            utilization: node.busy_s() / (makespan * c.replicas as f64),
+            replica_counters: node.counters().to_vec(),
             series: series.finalize(makespan, c.replicas),
             max_queue_depth,
         }
@@ -455,6 +440,41 @@ mod tests {
             ServingEngine::new(EngineConfig { arrival_rate: 0.0, ..base(100.0) }).unwrap_err(),
             ServingError::InvalidArrivalRate(_)
         ));
+    }
+
+    #[test]
+    fn non_positive_deadline_is_a_typed_error() {
+        assert!(matches!(
+            ServingEngine::new(EngineConfig { deadline_s: Some(0.0), ..base(100.0) }).unwrap_err(),
+            ServingError::InvalidDeadline(_)
+        ));
+        assert!(matches!(
+            ServingEngine::new(EngineConfig { deadline_s: Some(-0.5), ..base(100.0) }).unwrap_err(),
+            ServingError::InvalidDeadline(_)
+        ));
+        assert!(matches!(
+            ServingEngine::new(EngineConfig {
+                batch: BatchPolicy { max_batch: 0, max_wait_s: 0.0 },
+                ..base(100.0)
+            })
+            .unwrap_err(),
+            ServingError::ZeroBatch
+        ));
+    }
+
+    /// Satellite of the node refactor: the global latency summary is the
+    /// exact merge of per-replica histograms, and the per-replica
+    /// summaries stay consistent with the work counters.
+    #[test]
+    fn replica_latency_shards_sum_to_global() {
+        let rep = ServingEngine::new(base(300.0)).unwrap().run();
+        assert_eq!(rep.replica_latency.len(), 4);
+        let total: usize = rep.replica_latency.iter().map(|l| l.count).sum();
+        assert_eq!(total, rep.completed);
+        for (l, c) in rep.replica_latency.iter().zip(&rep.replica_counters) {
+            assert_eq!(l.count as u64, c.requests);
+        }
+        assert!(rep.replica_latency.iter().all(|l| l.p99_s <= rep.latency.max_s));
     }
 
     #[test]

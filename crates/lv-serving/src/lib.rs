@@ -32,7 +32,15 @@
 //! * [`metrics`] — **observability**: exact nearest-rank latency
 //!   percentiles (rank `ceil(n·p)`, never biased low), per-replica
 //!   counters, drop statistics, and time-sliced utilization / queue-depth
-//!   series.
+//!   series. Latencies are recorded per replica and folded together with
+//!   [`metrics::LatencyHistogram::merge`], which is exact (raw samples),
+//!   so the same merge aggregates replicas into an engine report or whole
+//!   nodes into fleet-level percentiles.
+//! * [`node`] — the **steppable node**: the dispatch mechanics above
+//!   behind an `advance(t)` / `offer(request)` interface, so an external
+//!   scheduler (the `lv-fleet` cluster simulator) can drive many nodes
+//!   against one shared clock. [`engine::ServingEngine`] is the closed
+//!   single-node loop over the same node.
 //!
 //! Heterogeneous traffic is expressed as weighted
 //! [`engine::RequestClass`]es whose unit costs typically come from the
@@ -46,13 +54,16 @@ pub mod contention;
 pub mod engine;
 pub mod metrics;
 pub mod mixed;
+pub mod node;
 pub mod queue;
 
 use serde::{Deserialize, Serialize};
 
 pub use batch::BatchPolicy;
 pub use engine::{EngineConfig, EngineReport, RequestClass, ServingEngine};
-pub use metrics::{DropStats, LatencySummary, SliceStat};
+pub use metrics::{DropStats, LatencyHistogram, LatencySummary, SliceStat};
+pub use node::{EngineNode, NodeConfig, NodeEvent};
+pub use queue::QueuedRequest;
 
 /// Why a serving simulation could not be constructed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +86,8 @@ pub enum ServingError {
     ZeroBatch,
     /// `batch_setup_frac` outside `[0, 1)`.
     InvalidSetupFrac(f64),
+    /// Non-positive or non-finite relative deadline.
+    InvalidDeadline(f64),
 }
 
 impl std::fmt::Display for ServingError {
@@ -89,6 +102,7 @@ impl std::fmt::Display for ServingError {
             Self::ZeroQueueCapacity => write!(f, "queue capacity must be > 0"),
             Self::ZeroBatch => write!(f, "max_batch must be >= 1"),
             Self::InvalidSetupFrac(v) => write!(f, "batch_setup_frac must be in [0,1), got {v}"),
+            Self::InvalidDeadline(v) => write!(f, "deadline must be positive, got {v}"),
         }
     }
 }

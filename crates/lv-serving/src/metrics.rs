@@ -73,6 +73,12 @@ impl LatencyHistogram {
         self.samples.extend_from_slice(&other.samples);
     }
 
+    /// Number of samples at or below `bound_s` — SLO attainment counting
+    /// (a request exactly on the SLO meets it).
+    pub fn count_within(&self, bound_s: f64) -> usize {
+        self.samples.iter().filter(|&&s| s <= bound_s).count()
+    }
+
     /// Summarise. Zero samples yield an all-zero summary instead of
     /// panicking (an overloaded run can drop every request).
     pub fn summary(&self) -> LatencySummary {

@@ -1,0 +1,471 @@
+//! A steppable serving node: the engine's dispatch mechanics (bounded
+//! admission, deadline shedding, dynamic batching, least-loaded replica
+//! selection) factored out of the closed event loop so an external
+//! scheduler can drive many nodes against one shared clock.
+//!
+//! [`crate::engine::ServingEngine`] drives exactly one node with its own
+//! Poisson arrival process; `lv-fleet` drives one node per chip behind a
+//! router, interleaving [`EngineNode::advance`] and [`EngineNode::offer`]
+//! calls in global arrival order. The node never looks at a wall clock:
+//! time only moves when the caller passes it in, so a fleet of nodes
+//! stays deterministic regardless of host parallelism.
+//!
+//! Everything the node does while its clock advances is returned as
+//! [`NodeEvent`]s, which callers map to traces / time series; the node
+//! itself keeps only the aggregate counters (per-replica
+//! [`ReplicaCounters`] and [`LatencyHistogram`]s, [`DropStats`]) that
+//! reports are built from.
+
+use crate::batch::{batch_service_time, BatchPolicy};
+use crate::metrics::{DropReason, DropStats, LatencyHistogram, ReplicaCounters};
+use crate::queue::{AdmissionQueue, QueuedRequest};
+use crate::ServingError;
+
+/// The per-node subset of [`crate::engine::EngineConfig`]: everything
+/// about the server, nothing about the arrival process.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Replicas initially active (each on its own core / L2 partition).
+    pub replicas: usize,
+    /// Admission-queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Optional relative deadline: queued longer than this ⇒ shed.
+    pub deadline_s: Option<f64>,
+    /// Batching policy.
+    pub batch: BatchPolicy,
+    /// Per-launch setup fraction, `[0, 1)` (see
+    /// [`crate::batch::batch_service_time`]).
+    pub batch_setup_frac: f64,
+}
+
+impl NodeConfig {
+    /// No batching, no deadline.
+    pub fn basic(replicas: usize, queue_capacity: usize) -> Self {
+        Self {
+            replicas,
+            queue_capacity,
+            deadline_s: None,
+            batch: BatchPolicy::none(),
+            batch_setup_frac: 0.0,
+        }
+    }
+
+    /// Reject degenerate configurations with a typed error instead of
+    /// panicking mid-simulation (mirrors `MachineConfig::builder()`).
+    pub fn validate(&self) -> Result<(), ServingError> {
+        if self.replicas == 0 {
+            return Err(ServingError::NoReplicas);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServingError::ZeroQueueCapacity);
+        }
+        if self.batch.max_batch == 0 {
+            return Err(ServingError::ZeroBatch);
+        }
+        if !(0.0..1.0).contains(&self.batch_setup_frac) {
+            return Err(ServingError::InvalidSetupFrac(self.batch_setup_frac));
+        }
+        if let Some(d) = self.deadline_s {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(ServingError::InvalidDeadline(d));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One thing a node did while [`EngineNode::advance`]-ing its clock, in
+/// chronological order. Callers that trace or build time series consume
+/// these; callers that only want totals can drop them.
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// Queued requests whose deadline passed were shed at `at_s`.
+    Shed {
+        /// Simulated time of the shed.
+        at_s: f64,
+        /// The dropped requests (already counted in [`DropStats`]).
+        shed: Vec<QueuedRequest>,
+        /// Queue depth after the shed.
+        queue_len_after: usize,
+    },
+    /// A batch launched on `replica` at `at_s` and completes at `done_s`.
+    Batch {
+        /// Replica index the batch ran on.
+        replica: usize,
+        /// Dispatch time.
+        at_s: f64,
+        /// Completion time (`at_s + service_s`).
+        done_s: f64,
+        /// Batch service time.
+        service_s: f64,
+        /// The requests served (latencies already recorded).
+        requests: Vec<QueuedRequest>,
+        /// Queue depth after the batch was popped.
+        queue_len_after: usize,
+    },
+}
+
+/// One serving node (one chip's worth of co-located replicas) that an
+/// external scheduler steps through time. See the module docs for the
+/// drive protocol; the invariant is that [`EngineNode::advance`]`(t)`
+/// processes every dispatch eligible strictly before `t`, so offering an
+/// arrival at `t` after advancing to `t` reproduces the closed engine
+/// loop exactly (ties between an arrival and a dispatch go to the
+/// arrival, letting batches fill greedily).
+#[derive(Debug)]
+pub struct EngineNode {
+    cfg: NodeConfig,
+    queue: AdmissionQueue,
+    /// When each provisioned replica frees up; only `[..active]` receive
+    /// new batches (the autoscaler moves `active`, history is kept).
+    free_at: Vec<f64>,
+    active: usize,
+    counters: Vec<ReplicaCounters>,
+    latencies: Vec<LatencyHistogram>,
+    drops: DropStats,
+    batches: u64,
+    batched_requests: u64,
+    last_completion: f64,
+    max_queue_depth: usize,
+    peak_replicas: usize,
+}
+
+impl EngineNode {
+    /// Validate `cfg` and build an idle node at time zero.
+    pub fn new(cfg: NodeConfig) -> Result<Self, ServingError> {
+        cfg.validate()?;
+        let n = cfg.replicas;
+        Ok(Self {
+            queue: AdmissionQueue::new(cfg.queue_capacity, cfg.deadline_s),
+            free_at: vec![0.0; n],
+            active: n,
+            counters: vec![ReplicaCounters::default(); n],
+            latencies: vec![LatencyHistogram::new(); n],
+            drops: DropStats::default(),
+            batches: 0,
+            batched_requests: 0,
+            last_completion: 0.0,
+            max_queue_depth: 0,
+            peak_replicas: n,
+            cfg,
+        })
+    }
+
+    /// Earliest-free active replica (work-conserving least-loaded pick).
+    fn earliest_free(&self) -> (usize, f64) {
+        self.free_at[..self.active]
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one active replica")
+    }
+
+    /// When the next batch could launch, given the earliest replica frees
+    /// at `free`: the size trigger once a full batch is queued, else the
+    /// time trigger once the head has waited `max_wait_s`.
+    fn dispatch_at(&self, free: f64) -> Option<f64> {
+        if self.queue.is_empty() {
+            None
+        } else if self.queue.len() >= self.cfg.batch.max_batch {
+            let full_at = self
+                .queue
+                .arrival_at(self.cfg.batch.max_batch - 1)
+                .expect("queue holds at least max_batch items");
+            Some(free.max(full_at))
+        } else {
+            let head = self.queue.head_arrival().expect("queue non-empty");
+            Some(free.max(head + self.cfg.batch.max_wait_s))
+        }
+    }
+
+    /// Process every dispatch (and deadline shed) that becomes eligible
+    /// strictly before `t_s`, returning what happened in order. Dispatches
+    /// exactly at `t_s` are left pending so an arrival at `t_s` can still
+    /// join the batch.
+    pub fn advance(&mut self, t_s: f64) -> Vec<NodeEvent> {
+        let mut events = Vec::new();
+        loop {
+            let (ri, free) = self.earliest_free();
+            let Some(d) = self.dispatch_at(free) else { break };
+            if d >= t_s {
+                break;
+            }
+            // Shed queued work whose deadline passed before `d`; the head
+            // changed, so re-evaluate the trigger before popping a batch.
+            let shed = self.queue.shed_expired(d);
+            if !shed.is_empty() {
+                for _ in &shed {
+                    self.drops.record(DropReason::DeadlineExceeded);
+                }
+                events.push(NodeEvent::Shed { at_s: d, shed, queue_len_after: self.queue.len() });
+                continue;
+            }
+            let batch = self.queue.pop_batch(self.cfg.batch.max_batch);
+            debug_assert!(!batch.is_empty());
+            let costs: Vec<f64> = batch.iter().map(|r| r.unit_cost_s).collect();
+            let svc = batch_service_time(&costs, self.cfg.batch_setup_frac);
+            let done = d + svc;
+            self.free_at[ri] = done;
+            self.counters[ri].batches += 1;
+            self.counters[ri].requests += batch.len() as u64;
+            self.counters[ri].busy_s += svc;
+            self.batches += 1;
+            self.batched_requests += batch.len() as u64;
+            for r in &batch {
+                self.latencies[ri].record(done - r.arrival_s);
+            }
+            self.last_completion = self.last_completion.max(done);
+            events.push(NodeEvent::Batch {
+                replica: ri,
+                at_s: d,
+                done_s: done,
+                service_s: svc,
+                requests: batch,
+                queue_len_after: self.queue.len(),
+            });
+        }
+        events
+    }
+
+    /// Run every remaining dispatch to completion (no more arrivals).
+    pub fn drain(&mut self) -> Vec<NodeEvent> {
+        self.advance(f64::INFINITY)
+    }
+
+    /// Offer one request. `false` means the bounded queue rejected it (the
+    /// drop is already counted as [`DropReason::QueueFull`]).
+    pub fn offer(&mut self, req: QueuedRequest) -> bool {
+        if self.queue.try_admit(req) {
+            self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+            true
+        } else {
+            self.drops.record(DropReason::QueueFull);
+            false
+        }
+    }
+
+    /// Change the active replica count at time `now_s`. Scaling up brings
+    /// new replicas online free at `now_s`; scaling down stops assigning
+    /// new batches to the trailing replicas (in-flight batches finish, and
+    /// their counters/latencies are kept — provisioned history never
+    /// shrinks, so [`EngineNode::peak_replicas`] reflects peak silicon).
+    pub fn scale_to(&mut self, replicas: usize, now_s: f64) {
+        let replicas = replicas.max(1);
+        while self.free_at.len() < replicas {
+            self.free_at.push(now_s);
+            self.counters.push(ReplicaCounters::default());
+            self.latencies.push(LatencyHistogram::new());
+        }
+        self.active = replicas;
+        self.peak_replicas = self.peak_replicas.max(replicas);
+    }
+
+    /// Currently active replicas.
+    pub fn active_replicas(&self) -> usize {
+        self.active
+    }
+
+    /// Most replicas ever active (the silicon that had to exist).
+    pub fn peak_replicas(&self) -> usize {
+        self.peak_replicas
+    }
+
+    /// Current queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Deepest the queue ever got.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// Expected wait before service for work arriving at `now_s`: time
+    /// until the earliest replica frees, plus the queued work spread over
+    /// the active replicas. A routing/admission estimate, not a bound.
+    pub fn expected_wait_s(&self, now_s: f64) -> f64 {
+        let (_, free) = self.earliest_free();
+        (free - now_s).max(0.0) + self.queue.total_cost_s() / self.active as f64
+    }
+
+    /// Drop accounting so far.
+    pub fn drops(&self) -> DropStats {
+        self.drops
+    }
+
+    /// Per-replica work counters (provisioned replicas, active or not).
+    pub fn counters(&self) -> &[ReplicaCounters] {
+        &self.counters
+    }
+
+    /// Per-replica latency histograms, index-aligned with
+    /// [`EngineNode::counters`].
+    pub fn latencies(&self) -> &[LatencyHistogram] {
+        &self.latencies
+    }
+
+    /// All replica histograms folded into one via
+    /// [`LatencyHistogram::merge`] — exact, because the histogram keeps
+    /// raw samples (fleet callers merge *these* again across nodes).
+    pub fn merged_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for h in &self.latencies {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// Requests served to completion.
+    pub fn completed(&self) -> usize {
+        self.latencies.iter().map(LatencyHistogram::len).sum()
+    }
+
+    /// Batches executed / requests batched (for mean batch size).
+    pub fn batch_counts(&self) -> (u64, u64) {
+        (self.batches, self.batched_requests)
+    }
+
+    /// Total replica busy seconds.
+    pub fn busy_s(&self) -> f64 {
+        self.counters.iter().map(|c| c.busy_s).sum()
+    }
+
+    /// Completion time of the last batch so far.
+    pub fn last_completion_s(&self) -> f64 {
+        self.last_completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, t: f64, cost: f64) -> QueuedRequest {
+        QueuedRequest { id, arrival_s: t, class: 0, unit_cost_s: cost }
+    }
+
+    #[test]
+    fn validates_like_the_engine() {
+        assert!(matches!(
+            NodeConfig { replicas: 0, ..NodeConfig::basic(1, 4) }.validate(),
+            Err(ServingError::NoReplicas)
+        ));
+        assert!(matches!(NodeConfig::basic(1, 0).validate(), Err(ServingError::ZeroQueueCapacity)));
+        assert!(matches!(
+            NodeConfig { deadline_s: Some(0.0), ..NodeConfig::basic(1, 4) }.validate(),
+            Err(ServingError::InvalidDeadline(_))
+        ));
+        assert!(matches!(
+            NodeConfig { deadline_s: Some(f64::NAN), ..NodeConfig::basic(1, 4) }.validate(),
+            Err(ServingError::InvalidDeadline(_))
+        ));
+        assert!(NodeConfig::basic(2, 8).validate().is_ok());
+    }
+
+    #[test]
+    fn advance_holds_ties_for_the_arrival() {
+        // One replica, no batching: a request arriving at 0 dispatches at
+        // 0, but only once the clock moves strictly past 0.
+        let mut n = EngineNode::new(NodeConfig::basic(1, 8)).unwrap();
+        assert!(n.offer(req(0, 0.0, 0.010)));
+        assert!(n.advance(0.0).is_empty(), "dispatch at t must wait for advance past t");
+        let ev = n.advance(0.5);
+        assert_eq!(ev.len(), 1);
+        match &ev[0] {
+            NodeEvent::Batch { at_s, done_s, .. } => {
+                assert_eq!(*at_s, 0.0);
+                assert!((done_s - 0.010).abs() < 1e-12);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(n.completed(), 1);
+    }
+
+    #[test]
+    fn offer_counts_queue_full_drops() {
+        let mut n = EngineNode::new(NodeConfig::basic(1, 2)).unwrap();
+        // Replica busy from a first dispatched request, then fill the queue.
+        assert!(n.offer(req(0, 0.0, 1.0)));
+        n.advance(0.1);
+        assert!(n.offer(req(1, 0.1, 1.0)));
+        assert!(n.offer(req(2, 0.1, 1.0)));
+        assert!(!n.offer(req(3, 0.1, 1.0)), "third queued offer must bounce");
+        assert_eq!(n.drops().queue_full, 1);
+        assert_eq!(n.max_queue_depth(), 2);
+    }
+
+    #[test]
+    fn deadline_sheds_surface_as_events() {
+        let cfg = NodeConfig { deadline_s: Some(0.05), ..NodeConfig::basic(1, 8) };
+        let mut n = EngineNode::new(cfg).unwrap();
+        // First request occupies the replica for 1s; the second's deadline
+        // expires long before the replica frees.
+        assert!(n.offer(req(0, 0.0, 1.0)));
+        n.advance(0.01);
+        assert!(n.offer(req(1, 0.01, 1.0)));
+        let events = n.drain();
+        let sheds: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                NodeEvent::Shed { shed, .. } => Some(shed.len()),
+                NodeEvent::Batch { .. } => None,
+            })
+            .sum();
+        assert_eq!(sheds, 1);
+        assert_eq!(n.drops().deadline_exceeded, 1);
+        assert_eq!(n.completed(), 1);
+    }
+
+    #[test]
+    fn scale_up_adds_capacity_mid_run() {
+        let mut one = EngineNode::new(NodeConfig::basic(1, 64)).unwrap();
+        let mut scaled = EngineNode::new(NodeConfig::basic(1, 64)).unwrap();
+        // Back-to-back 10ms requests arriving every 5ms: one replica lags.
+        for i in 0..20u64 {
+            let t = i as f64 * 0.005;
+            one.advance(t);
+            scaled.advance(t);
+            if i == 4 {
+                scaled.scale_to(4, t);
+            }
+            assert!(one.offer(req(i, t, 0.010)));
+            assert!(scaled.offer(req(i, t, 0.010)));
+        }
+        one.drain();
+        scaled.drain();
+        assert_eq!(scaled.peak_replicas(), 4);
+        assert!(scaled.last_completion_s() < one.last_completion_s());
+        let (m1, m4) = (one.merged_latency().summary(), scaled.merged_latency().summary());
+        assert!(m4.p99_s < m1.p99_s, "scaling out must cut queueing latency");
+    }
+
+    #[test]
+    fn merged_latency_equals_per_replica_union() {
+        let mut n = EngineNode::new(NodeConfig::basic(3, 64)).unwrap();
+        for i in 0..30u64 {
+            let t = i as f64 * 0.002;
+            n.advance(t);
+            assert!(n.offer(req(i, t, 0.010)));
+        }
+        n.drain();
+        let merged = n.merged_latency();
+        let per_replica: usize = n.latencies().iter().map(LatencyHistogram::len).sum();
+        assert_eq!(merged.len(), per_replica);
+        assert_eq!(merged.len(), 30);
+        // Three replicas all saw work.
+        assert!(n.latencies().iter().all(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn expected_wait_tracks_backlog() {
+        let mut n = EngineNode::new(NodeConfig::basic(1, 64)).unwrap();
+        assert_eq!(n.expected_wait_s(0.0), 0.0);
+        assert!(n.offer(req(0, 0.0, 0.5)));
+        n.advance(0.1); // dispatches the 0.5s request at t=0
+        assert!(n.offer(req(1, 0.1, 0.5)));
+        let w = n.expected_wait_s(0.1);
+        // Replica busy until 0.5 (0.4 away) + 0.5 queued work.
+        assert!((w - 0.9).abs() < 1e-9, "wait {w}");
+    }
+}

@@ -63,6 +63,12 @@ impl AdmissionQueue {
         self.items.get(idx).map(|r| r.arrival_s)
     }
 
+    /// Total service cost (seconds) of everything queued — the backlog a
+    /// new arrival waits behind, used by routing/admission estimates.
+    pub fn total_cost_s(&self) -> f64 {
+        self.items.iter().map(|r| r.unit_cost_s).sum()
+    }
+
     /// Admit `req` if there is room; `false` means the caller must count a
     /// [`crate::metrics::DropReason::QueueFull`] drop.
     pub fn try_admit(&mut self, req: QueuedRequest) -> bool {
