@@ -3,6 +3,7 @@
 //! Usage:
 //! ```text
 //! repro <experiment> [--scale S] [--force] [--no-cache] [--jobs N] [--trace FILE]
+//!                    [--backend cycle|fast]
 //! repro all            # every Paper II experiment
 //! repro grid           # warm the Paper II slice of the cell cache
 //! repro p1grid         # warm the Paper I slices of the cell cache
@@ -10,7 +11,15 @@
 //! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
 //! selector fig9 fig10 fig11 fig12 serve fleet p1-blocks p1-vl p1-cache
 //! p1-lanes p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify
-//! check
+//! calibrate check
+//!
+//! `--backend` selects the simulation tier: `cycle` (the cycle-accurate
+//! machine) or `fast` (the calibrated analytical model — see
+//! `repro calibrate`, which re-derives its error envelope and fails on
+//! drift). Without the flag each plan uses its own default: figures stay
+//! cycle-accurate, the coarse `dataset`/`selector`/`fleet` sweeps run
+//! fast. The two tiers are cached under disjoint, `FAST_MODEL_REV`-salted
+//! keys.
 //!
 //! Every sweep-backed artifact runs through one shared
 //! [`lv_bench::plan::Executor`] with a persistent content-addressed cell
@@ -65,6 +74,7 @@ fn main() {
         no_cache: inv.no_cache,
         force: inv.force,
         verbose: true,
+        backend: inv.backend,
         ..Default::default()
     });
     if let Err(e) = run(&inv, &exec, &ctx) {
@@ -90,7 +100,8 @@ fn run(inv: &Invocation, exec: &Executor, ctx: &TraceCtx) -> Result<(), BenchErr
             println!("p1grid ready: {rows} rows");
         }
         "check" => {
-            let (text, pass) = lv_bench::check::check_text(inv.seed, inv.deep);
+            let backend = inv.backend.unwrap_or_default();
+            let (text, pass) = lv_bench::check::check_text(inv.seed, inv.deep, backend);
             let dir = results_dir();
             std::fs::create_dir_all(&dir).map_err(BenchError::io("create results dir", &dir))?;
             let path = dir.join("check.txt");

@@ -3,11 +3,43 @@
 //! the simulator invariant lint enabled) and writes the per-cell
 //! PASS/FAIL table to `results/check.txt`. `repro check` exits non-zero
 //! if any cell is over tolerance, so it doubles as a CI gate.
+//!
+//! `repro check --backend fast` runs the *tier* sweep instead: the
+//! calibrated analytical fast tier against the cycle-accurate machine
+//! over the same grid, judged by the residual-derived error bounds in
+//! `lv_models::calib`. Either way the report's first line records which
+//! tier ran.
 
-use lv_check::{run_check, CheckConfig};
+use lv_check::{run_check, run_tier_check, CheckConfig};
+use lv_models::BackendKind;
 
 /// Run the sweep; returns the rendered report and whether it passed.
-pub fn check_text(seed: u64, deep: bool) -> (String, bool) {
-    let report = run_check(&CheckConfig { seed, deep });
-    (report.render(), report.pass())
+/// The first line of the report records the tier
+/// (`tier: cycle` / `tier: fast`), so `results/check.txt` is
+/// self-describing.
+pub fn check_text(seed: u64, deep: bool, backend: BackendKind) -> (String, bool) {
+    match backend {
+        BackendKind::Cycle => {
+            let report = run_check(&CheckConfig { seed, deep });
+            (format!("tier: cycle\n{}", report.render()), report.pass())
+        }
+        BackendKind::Fast => {
+            let report = run_tier_check(&CheckConfig { seed, deep });
+            (format!("tier: fast\n{}", report.render()), report.pass())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_records_the_tier_that_ran() {
+        // The fast sweep is cheap enough to run here; the cycle sweep is
+        // covered by the `repro check` CI smoke.
+        let (text, _pass) = check_text(42, false, BackendKind::Fast);
+        assert!(text.starts_with("tier: fast\n"), "{}", &text[..40.min(text.len())]);
+        assert!(text.contains("RESULT:"));
+    }
 }

@@ -8,6 +8,8 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use lv_models::BackendKind;
+
 /// Every artifact id `figures::run_experiment_traced` accepts. `repro`
 /// prints this list when given an unknown id or flag.
 pub const ARTIFACTS: &[&str] = &[
@@ -41,6 +43,7 @@ pub const ARTIFACTS: &[&str] = &[
     "ablation-fft",
     "ablation-unroll",
     "ablation-contention",
+    "calibrate",
     "verify",
     "check",
     "all",
@@ -70,6 +73,10 @@ pub enum Flag {
     Seed,
     /// `--deep` — larger conformance sweep (`check` only).
     Deep,
+    /// `--backend {cycle,fast}` — simulation tier override: `cycle` is
+    /// the cycle-accurate machine, `fast` the calibrated analytical
+    /// model. Per-plan defaults apply when absent.
+    Backend,
 }
 
 impl Flag {
@@ -82,6 +89,7 @@ impl Flag {
             Flag::Jobs => "--jobs",
             Flag::Seed => "--seed",
             Flag::Deep => "--deep",
+            Flag::Backend => "--backend",
         }
     }
 
@@ -94,6 +102,7 @@ impl Flag {
             "--jobs" => Flag::Jobs,
             "--seed" => Flag::Seed,
             "--deep" => Flag::Deep,
+            "--backend" => Flag::Backend,
             _ => return None,
         })
     }
@@ -107,11 +116,17 @@ impl CliSpec {
     /// knobs; every sweep-backed artifact takes the executor knobs.
     pub fn allowed_flags(artifact: &str) -> &'static [Flag] {
         match artifact {
-            "check" => &[Flag::Seed, Flag::Deep, Flag::Trace],
-            "serve" | "fleet" => {
-                &[Flag::Scale, Flag::Force, Flag::Trace, Flag::NoCache, Flag::Jobs, Flag::Seed]
-            }
-            _ => &[Flag::Scale, Flag::Force, Flag::Trace, Flag::NoCache, Flag::Jobs],
+            "check" => &[Flag::Seed, Flag::Deep, Flag::Trace, Flag::Backend],
+            "serve" | "fleet" => &[
+                Flag::Scale,
+                Flag::Force,
+                Flag::Trace,
+                Flag::NoCache,
+                Flag::Jobs,
+                Flag::Seed,
+                Flag::Backend,
+            ],
+            _ => &[Flag::Scale, Flag::Force, Flag::Trace, Flag::NoCache, Flag::Jobs, Flag::Backend],
         }
     }
 
@@ -128,7 +143,8 @@ impl CliSpec {
     /// One-line usage string.
     pub fn usage() -> &'static str {
         "usage: repro <experiment|all|grid|p1grid> [--scale S] [--force] [--no-cache] \
-         [--jobs N] [--trace FILE]   (check: [--seed N] [--deep]; serve/fleet: [--seed N])"
+         [--jobs N] [--trace FILE] [--backend cycle|fast]   \
+         (check: [--seed N] [--deep]; serve/fleet: [--seed N])"
     }
 }
 
@@ -151,6 +167,8 @@ pub struct Invocation {
     pub deep: bool,
     /// `--trace` output path.
     pub trace: Option<PathBuf>,
+    /// `--backend` simulation-tier override (`None` = per-plan default).
+    pub backend: Option<BackendKind>,
 }
 
 /// Why an argv could not be parsed. The binary prints this and the
@@ -213,6 +231,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
         seed: 42,
         deep: false,
         trace: None,
+        backend: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -256,6 +275,12 @@ pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
             }
             Flag::Trace => {
                 inv.trace = Some(PathBuf::from(value.ok_or_else(|| bad("an output file path"))?));
+                i += 1;
+            }
+            Flag::Backend => {
+                const E: &str = "cycle or fast";
+                inv.backend =
+                    Some(value.and_then(|v| BackendKind::parse(v)).ok_or_else(|| bad(E))?);
                 i += 1;
             }
         }
@@ -339,8 +364,43 @@ mod tests {
     #[test]
     fn listing_mentions_grid_commands_and_artifacts() {
         let l = CliSpec::listing();
-        for id in ["grid", "p1grid", "table1", "serve", "fleet", "verify", "check", "p1-roofline"] {
+        for id in [
+            "grid",
+            "p1grid",
+            "table1",
+            "serve",
+            "fleet",
+            "verify",
+            "check",
+            "p1-roofline",
+            "calibrate",
+        ] {
             assert!(l.contains(id), "{l}");
+        }
+    }
+
+    #[test]
+    fn backend_flag_parses_and_validates() {
+        assert_eq!(parse(&argv(&["dataset"])).unwrap().backend, None);
+        assert_eq!(
+            parse(&argv(&["dataset", "--backend", "fast"])).unwrap().backend,
+            Some(BackendKind::Fast)
+        );
+        assert_eq!(
+            parse(&argv(&["grid", "--backend", "cycle"])).unwrap().backend,
+            Some(BackendKind::Cycle)
+        );
+        assert_eq!(
+            parse(&argv(&["check", "--backend", "fast", "--seed", "7"])).unwrap().backend,
+            Some(BackendKind::Fast)
+        );
+        // Unknown tier and missing value are exit-2 errors carrying the
+        // expected-value text.
+        for args in [vec!["fig3", "--backend", "warp"], vec!["fig3", "--backend"]] {
+            assert_eq!(
+                parse(&argv(&args)),
+                Err(CliError::BadValue { flag: "--backend", expected: "cycle or fast" })
+            );
         }
     }
 }

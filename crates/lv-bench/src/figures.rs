@@ -25,7 +25,7 @@ fn secs(cycles: u64) -> f64 {
 /// Write `results/<name>` with a typed error instead of a panic or a
 /// silently-dropped `.ok()`, so `repro` exits 1 with the path and cause
 /// when `results/` is missing or unwritable.
-fn write_result(name: &str, text: &str) -> Result<(), BenchError> {
+pub(crate) fn write_result(name: &str, text: &str) -> Result<(), BenchError> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir).map_err(BenchError::io("create results dir", &dir))?;
     let path = dir.join(name);
@@ -103,9 +103,16 @@ pub fn run_experiment_traced(
         }
         // These read the full Paper II grid (both models, all 16 configs):
         // the selector trains on all of it and the Pareto/serving analyses
-        // sweep every design point.
-        "dataset" => dataset_report(&run(&plan::paper2_plan(scale))?)?,
-        "selector" => selector_report(&run(&plan::paper2_plan(scale))?),
+        // sweep every design point. The dataset/selector training sweeps
+        // are coarse consumers — they default to the calibrated fast tier
+        // (override with `--backend cycle`); the figures stay
+        // cycle-accurate.
+        "dataset" => {
+            dataset_report(&run(&plan::paper2_plan(scale).backend(lv_models::BackendKind::Fast))?)?
+        }
+        "selector" => {
+            selector_report(&run(&plan::paper2_plan(scale).backend(lv_models::BackendKind::Fast))?)
+        }
         "fig9" => fig9_10(&run(&plan::paper2_plan(scale))?, "vgg16", "fig9")?,
         "fig10" => fig9_10(&run(&plan::paper2_plan(scale))?, "yolov3-20", "fig10")?,
         "fig11" => fig11(&run(&plan::paper2_plan(scale))?)?,
@@ -126,9 +133,20 @@ pub fn run_experiment_traced(
         "ablation-unroll" => ablation_unroll(scale),
         "ablation-contention" => ablation_contention(scale),
         "verify" => crate::verify::render(&crate::verify::verify(scale, exec, ctx)?),
+        "calibrate" => {
+            let (text, drifted) = crate::calibrate::calibrate_report(scale, ctx)?;
+            if drifted {
+                save(id, &text)?;
+                eprintln!("{text}");
+                eprintln!("calibrate: fast tier outside its committed error envelope");
+                std::process::exit(1);
+            }
+            text
+        }
         // Default-config sweep; `repro check` accepts --seed/--deep and
-        // propagates the exit code (handled in the binary).
-        "check" => crate::check::check_text(seed, false).0,
+        // propagates the exit code (handled in the binary); the
+        // tier-aware variant (`--backend fast`) is dispatched there too.
+        "check" => crate::check::check_text(seed, false, lv_models::BackendKind::Cycle).0,
         "all" => {
             for e in [
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",

@@ -76,13 +76,17 @@ fn chip_spec(
 ) -> Result<ChipSpec, BenchError> {
     let part = partition_l2(shared_l2, replicas, &P2_L2S)
         .expect("menu shared L2 / replicas lands on a measured partition");
+    // Capacity planning is a coarse consumer: the calibrated fast tier
+    // is accurate enough to rank stacks, so fleet plans default to it
+    // (`--backend cycle` still overrides via the executor).
     let plan = SweepPlan::new(&format!("fleet-{name}"))
         .layers(Model::Vgg16)
         .layers(Model::Yolo20)
         .scale(scale)
         .vlens(&[vlen])
         .l2s(&[part])
-        .algos(&ALL_ALGOS);
+        .algos(&ALL_ALGOS)
+        .backend(lv_models::BackendKind::Fast);
     let rows = exec.run(&plan, ctx)?.rows;
     let service_s = CLASSES.iter().map(|m| stack_seconds(&rows, m, vlen, part)).collect();
     Ok(ChipSpec { name: name.into(), vlen_bits: vlen, l2_mib: shared_l2, replicas, service_s })

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod chart;
 pub mod check;
 pub mod cli;

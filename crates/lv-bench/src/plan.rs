@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use lv_conv::{Algo, ALL_ALGOS};
-use lv_models::{measure_cell, CellMetrics};
+use lv_models::{BackendKind, CellMetrics};
 use lv_sim::{fnv1a, MachineConfig, TrackId, VpuStyle, MIB};
 use lv_tensor::ConvShape;
 use rayon::prelude::*;
@@ -100,9 +100,23 @@ impl Cell {
     /// identically-shaped layers (and identical cells across figures)
     /// share one simulation.
     pub fn key(&self, salt: &str) -> u64 {
+        self.key_tiered(salt, BackendKind::Cycle)
+    }
+
+    /// [`Self::key`] for an explicit simulation tier. Cycle-tier keys are
+    /// the historical addresses (existing caches stay warm); fast-tier
+    /// keys additionally fold in the tier name and
+    /// [`lv_sim::FAST_MODEL_REV`], so the two tiers can never serve each
+    /// other's cells and a fast-model (or calibration-table) change
+    /// invalidates only fast cells.
+    pub fn key_tiered(&self, salt: &str, backend: BackendKind) -> u64 {
         let s = &self.shape;
+        let tier = match backend {
+            BackendKind::Cycle => String::new(),
+            BackendKind::Fast => format!("|backend=fast|f{}", lv_sim::FAST_MODEL_REV),
+        };
         let canon = format!(
-            "{}|shape={},{},{},{},{},{},{},{}|algo={}|salt={salt}",
+            "{}|shape={},{},{},{},{},{},{},{}|algo={}|salt={salt}{tier}",
             self.cfg.stable_key(),
             s.ic,
             s.ih,
@@ -148,6 +162,7 @@ pub struct SweepPlan {
     tag_lanes: bool,
     decoupled: bool,
     algos: AlgoSpec,
+    backend: BackendKind,
 }
 
 impl SweepPlan {
@@ -167,12 +182,26 @@ impl SweepPlan {
             tag_lanes: false,
             decoupled: false,
             algos: AlgoSpec::List(ALL_ALGOS.to_vec()),
+            backend: BackendKind::Cycle,
         }
     }
 
     /// The plan's id.
     pub fn id(&self) -> &str {
         &self.id
+    }
+
+    /// Simulation tier this plan runs on by default (figures stay
+    /// cycle-accurate; coarse consumers opt into the fast tier). The
+    /// `--backend` CLI flag overrides it per invocation.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The plan's default tier.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
     }
 
     /// Add every Table-1 conv layer of `model` (repeatable).
@@ -380,6 +409,9 @@ pub struct ExecOptions {
     pub cache_dir: Option<PathBuf>,
     /// Cache-key salt override (tests); default [`default_salt`].
     pub salt: Option<String>,
+    /// Simulation-tier override (`--backend {cycle,fast}`); `None` = each
+    /// plan's own default tier.
+    pub backend: Option<BackendKind>,
 }
 
 /// Per-plan execution counters, printed as one line and attached to the
@@ -521,9 +553,15 @@ impl Executor {
         self.cache.lock().unwrap().corrupt
     }
 
+    /// The tier a plan resolves to under this executor's options.
+    pub fn backend_for(&self, plan: &SweepPlan) -> BackendKind {
+        self.opts.backend.unwrap_or(plan.backend)
+    }
+
     /// How much of `plan` the cache already covers, without simulating:
     /// `(cached unique cells, total unique cells)`.
     pub fn coverage(&self, plan: &SweepPlan) -> (usize, usize) {
+        let backend = self.backend_for(plan);
         let cache = self.cache.lock().unwrap();
         let mut seen = HashSet::new();
         let mut cached = 0usize;
@@ -531,7 +569,7 @@ impl Executor {
             if !c.applicable() {
                 continue;
             }
-            let k = c.key(&self.salt);
+            let k = c.key_tiered(&self.salt, backend);
             if seen.insert(k) && cache.map.contains_key(&k) {
                 cached += 1;
             }
@@ -549,6 +587,7 @@ impl Executor {
             &format!("plan:{}", plan.id()),
             ctx.now_us(),
         );
+        let backend = self.backend_for(plan);
         let cells = plan.expand();
         let mut report = ExecReport::default();
         // Partition into unique missing work under one cache lock.
@@ -563,7 +602,7 @@ impl Executor {
                     continue;
                 }
                 report.total += 1;
-                let k = c.key(&self.salt);
+                let k = c.key_tiered(&self.salt, backend);
                 if !unique.insert(k) {
                     continue;
                 }
@@ -582,16 +621,22 @@ impl Executor {
         // worklist and re-sorts, so `fresh` is in `missing` order.
         if !missing.is_empty() {
             if self.opts.verbose {
-                eprintln!("[plan {}] simulating {} unique cells ...", plan.id(), missing.len());
+                eprintln!(
+                    "[plan {}] simulating {} unique cells ({} tier) ...",
+                    plan.id(),
+                    missing.len(),
+                    backend.name()
+                );
             }
             let done = AtomicUsize::new(0);
             let total = missing.len();
             let verbose = self.opts.verbose;
             let id = plan.id().to_string();
+            let sim = backend.backend();
             let fresh: Vec<(u64, CellMetrics)> = missing
                 .into_par_iter()
                 .filter_map(|(k, c)| {
-                    let m = measure_cell(&c.cfg, &c.shape, c.algo)?;
+                    let m = sim.measure(&c.cfg, &c.shape, c.algo)?;
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if verbose && n % 32 == 0 {
                         eprintln!("[plan {id}] {n}/{total} cells simulated");
@@ -612,8 +657,8 @@ impl Executor {
             if !c.applicable() {
                 continue;
             }
-            let Some(m) = cache.map.get(&c.key(&self.salt)) else {
-                continue; // measure_cell declined (applicability raced); row left out
+            let Some(m) = cache.map.get(&c.key_tiered(&self.salt, backend)) else {
+                continue; // the tier declined (applicability raced); row left out
             };
             rows.push(GridRow {
                 model: c.model,
@@ -817,6 +862,28 @@ mod tests {
         let d = Cell { algo: Algo::Direct, ..a.clone() };
         assert_ne!(a.key("s"), d.key("s"));
         assert_ne!(a.key("s"), a.key("s2"), "salt bump must change the address");
+    }
+
+    #[test]
+    fn tiers_never_share_content_addresses() {
+        let c = Cell {
+            model: "m".into(),
+            layer: 1,
+            shape: tiny_shape(),
+            cfg: MachineConfig::rvv_integrated(512, 1),
+            algo: Algo::Gemm3,
+        };
+        // The cycle tier keeps the historical address (warm caches stay
+        // warm); the fast tier gets a disjoint, FAST_MODEL_REV-salted one.
+        assert_eq!(c.key("s"), c.key_tiered("s", BackendKind::Cycle));
+        assert_ne!(c.key("s"), c.key_tiered("s", BackendKind::Fast));
+    }
+
+    #[test]
+    fn plan_backend_defaults_to_cycle_and_is_overridable() {
+        let p = SweepPlan::new("t");
+        assert_eq!(p.backend_kind(), BackendKind::Cycle);
+        assert_eq!(p.backend(BackendKind::Fast).backend_kind(), BackendKind::Fast);
     }
 
     #[test]

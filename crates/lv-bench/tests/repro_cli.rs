@@ -162,3 +162,37 @@ fn traced_fig1_layer_spans_reconcile_with_roofline_csv() {
         "queue-depth counter present"
     );
 }
+
+/// `--backend` validation and the fast-tier pipeline end to end: an
+/// unknown tier exits 2 with the flag named, a fast-tier grid run
+/// completes quickly, and a warm rerun is served entirely from the
+/// (tier-salted) cell cache.
+#[test]
+fn backend_flag_validates_and_fast_tier_caches() {
+    let out = repro().args(["grid", "--backend", "warp"]).output().expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--backend"), "stderr must name the flag: {err}");
+    assert!(err.contains("cycle or fast"), "stderr must list valid tiers: {err}");
+    assert!(err.contains("valid artifacts"), "usage listing follows: {err}");
+
+    let dir = temp_dir("fastgrid");
+    let run = || {
+        repro()
+            .env("LVCONV_RESULTS", &dir)
+            .args(["grid", "--scale", "0.05", "--backend", "fast"])
+            .output()
+            .expect("spawn repro")
+    };
+    let cold = run();
+    assert!(cold.status.success(), "stderr: {}", String::from_utf8_lossy(&cold.stderr));
+    let cold_out = String::from_utf8_lossy(&cold.stdout);
+    assert!(!cold_out.contains("simulated=0"), "cold fast run must simulate: {cold_out}");
+    let warm = run();
+    assert!(warm.status.success(), "stderr: {}", String::from_utf8_lossy(&warm.stderr));
+    let warm_out = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        warm_out.contains("simulated=0"),
+        "warm fast-tier rerun must be fully cached: {warm_out}"
+    );
+}

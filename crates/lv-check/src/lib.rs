@@ -9,12 +9,16 @@
 //! [`lv_sim`] invariant lint enabled.
 //!
 //! The `repro check [--seed N] [--deep]` artifact in `lv-bench` drives
-//! [`run_check`] and writes the PASS/FAIL table to `results/check.txt`.
+//! [`run_check`] and writes the PASS/FAIL table to `results/check.txt`;
+//! `repro check --backend fast` instead drives [`tier::run_tier_check`],
+//! the differential sweep of the calibrated analytical simulation tier
+//! against the cycle-accurate machine.
 
 #![warn(missing_docs)]
 
 pub mod diff;
 pub mod oracle;
+pub mod tier;
 pub mod tolerance;
 
 pub use diff::{
@@ -22,4 +26,5 @@ pub use diff::{
     structured_grid, CellResult, CheckConfig, CheckReport,
 };
 pub use oracle::{conv2d_f64, depthwise_f64, im2col_f64, ConvOracle};
+pub use tier::{run_tier_check, TierCell, TierReport};
 pub use tolerance::{compare, gamma, Comparison, Violation};

@@ -37,6 +37,7 @@ pub mod fft;
 pub mod gemm3;
 pub mod gemm6;
 pub mod im2col;
+pub mod model;
 pub mod winograd;
 pub mod winograd_small;
 

@@ -20,12 +20,15 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod calib;
 pub mod darknet;
 mod measure;
 mod model;
 mod runner;
 pub mod zoo;
 
+pub use backend::{BackendKind, CycleBackend, FastBackend, SimBackend};
 pub use measure::{
     best_algo, measure_all_algos, measure_cell, measure_layer, CellMetrics, LayerMeasurement,
 };

@@ -38,6 +38,7 @@
 
 mod cache;
 mod config;
+pub mod fastmodel;
 pub mod lint;
 mod machine;
 mod stats;
@@ -57,6 +58,13 @@ pub use stats::Stats;
 /// salt their keys with it, so stale cells are invalidated instead of
 /// silently reused.
 pub const TIMING_REV: u32 = 1;
+
+/// Revision of the analytical fast tier ([`fastmodel`]). Bump whenever a
+/// change to the fast model (or to the calibration tables derived from it)
+/// can alter fast-tier predictions: fast-tier cell-cache keys are salted
+/// with it, separately from [`TIMING_REV`], so the two tiers never
+/// cross-contaminate and stale fast cells are invalidated independently.
+pub const FAST_MODEL_REV: u32 = 1;
 
 // Re-exported so instrumented downstream crates name one tracing API.
 pub use lv_trace::{Tracer, TrackId};
