@@ -9,9 +9,9 @@
 //! repro p1grid         # warm the Paper I slices of the cell cache
 //! ```
 //! Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 dataset
-//! selector fig9 fig10 fig11 fig12 serve fleet p1-blocks p1-vl p1-cache
-//! p1-lanes p1-winograd p1-pareto p1-naive p1-roofline ablation-* verify
-//! calibrate check
+//! selector fig9 fig10 fig11 fig12 serve fleet chaos p1-blocks p1-vl
+//! p1-cache p1-lanes p1-winograd p1-pareto p1-naive p1-roofline
+//! ablation-* verify calibrate check
 //!
 //! `--backend` selects the simulation tier: `cycle` (the cycle-accurate
 //! machine) or `fast` (the calibrated analytical model — see
@@ -40,6 +40,15 @@
 //! (round-robin / JSQ / power-of-two / model-affinity, SLO admission,
 //! reactive autoscaling) and writes `results/fleet.txt` /
 //! `results/fleet.csv`. Both take `--seed N` to resample arrivals.
+//!
+//! `chaos [--seed N] [--faults none|crash|straggler|rack|all]` sweeps
+//! seeded fault scenarios (node crashes, stragglers, a correlated rack
+//! outage) against three fault-tolerance stacks — fault-oblivious,
+//! health-aware routing + deadline-budgeted retries, and the full stack
+//! with tail hedging and graceful degradation — on paired arrival
+//! traces, and writes `results/chaos.txt` / `results/chaos.csv`
+//! (availability, capacity-under-SLO retained, p99 inflation,
+//! retry/hedge overhead, time-to-recover). Bit-identical per seed.
 //!
 //! `--trace FILE` records the run with `lv-trace` and writes Chrome
 //! trace-event JSON (loadable in Perfetto / `chrome://tracing`): wall-clock
@@ -114,7 +123,9 @@ fn run(inv: &Invocation, exec: &Executor, ctx: &TraceCtx) -> Result<(), BenchErr
                 std::process::exit(1);
             }
         }
-        other => lv_bench::figures::run_experiment_traced(other, inv.scale, exec, ctx, inv.seed)?,
+        other => lv_bench::figures::run_experiment_traced(
+            other, inv.scale, exec, ctx, inv.seed, inv.faults,
+        )?,
     }
     Ok(())
 }

@@ -8,6 +8,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use lv_fleet::FaultScenario;
 use lv_models::BackendKind;
 
 /// Every artifact id `figures::run_experiment_traced` accepts. `repro`
@@ -30,6 +31,7 @@ pub const ARTIFACTS: &[&str] = &[
     "fig12",
     "serve",
     "fleet",
+    "chaos",
     "p1-vl",
     "p1-cache",
     "p1-lanes",
@@ -77,6 +79,9 @@ pub enum Flag {
     /// the cycle-accurate machine, `fast` the calibrated analytical
     /// model. Per-plan defaults apply when absent.
     Backend,
+    /// `--faults {none,crash,straggler,rack,all}` — restrict the `chaos`
+    /// sweep to one fault scenario (default: all of them).
+    Faults,
 }
 
 impl Flag {
@@ -90,6 +95,7 @@ impl Flag {
             Flag::Seed => "--seed",
             Flag::Deep => "--deep",
             Flag::Backend => "--backend",
+            Flag::Faults => "--faults",
         }
     }
 
@@ -103,6 +109,7 @@ impl Flag {
             "--seed" => Flag::Seed,
             "--deep" => Flag::Deep,
             "--backend" => Flag::Backend,
+            "--faults" => Flag::Faults,
             _ => return None,
         })
     }
@@ -126,6 +133,16 @@ impl CliSpec {
                 Flag::Seed,
                 Flag::Backend,
             ],
+            "chaos" => &[
+                Flag::Scale,
+                Flag::Force,
+                Flag::Trace,
+                Flag::NoCache,
+                Flag::Jobs,
+                Flag::Seed,
+                Flag::Backend,
+                Flag::Faults,
+            ],
             _ => &[Flag::Scale, Flag::Force, Flag::Trace, Flag::NoCache, Flag::Jobs, Flag::Backend],
         }
     }
@@ -144,7 +161,8 @@ impl CliSpec {
     pub fn usage() -> &'static str {
         "usage: repro <experiment|all|grid|p1grid> [--scale S] [--force] [--no-cache] \
          [--jobs N] [--trace FILE] [--backend cycle|fast]   \
-         (check: [--seed N] [--deep]; serve/fleet: [--seed N])"
+         (check: [--seed N] [--deep]; serve/fleet: [--seed N]; \
+         chaos: [--seed N] [--faults none|crash|straggler|rack|all])"
     }
 }
 
@@ -169,6 +187,8 @@ pub struct Invocation {
     pub trace: Option<PathBuf>,
     /// `--backend` simulation-tier override (`None` = per-plan default).
     pub backend: Option<BackendKind>,
+    /// `--faults` scenario restriction (`None` = sweep all; `chaos` only).
+    pub faults: Option<FaultScenario>,
 }
 
 /// Why an argv could not be parsed. The binary prints this and the
@@ -232,6 +252,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
         deep: false,
         trace: None,
         backend: None,
+        faults: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -281,6 +302,12 @@ pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
                 const E: &str = "cycle or fast";
                 inv.backend =
                     Some(value.and_then(|v| BackendKind::parse(v)).ok_or_else(|| bad(E))?);
+                i += 1;
+            }
+            Flag::Faults => {
+                const E: &str = "none, crash, straggler, rack or all";
+                inv.faults =
+                    Some(value.and_then(|v| FaultScenario::parse(v)).ok_or_else(|| bad(E))?);
                 i += 1;
             }
         }
@@ -377,6 +404,29 @@ mod tests {
         ] {
             assert!(l.contains(id), "{l}");
         }
+    }
+
+    #[test]
+    fn chaos_takes_a_fault_scenario() {
+        assert_eq!(parse(&argv(&["chaos"])).unwrap().faults, None);
+        let inv = parse(&argv(&["chaos", "--faults", "crash", "--seed", "3"])).unwrap();
+        assert_eq!(inv.faults, Some(FaultScenario::Crash));
+        assert_eq!(inv.seed, 3);
+        // Unknown scenario and missing value are exit-2 errors naming the
+        // valid set; the flag belongs to chaos alone.
+        for args in [vec!["chaos", "--faults", "nope"], vec!["chaos", "--faults"]] {
+            assert_eq!(
+                parse(&argv(&args)),
+                Err(CliError::BadValue {
+                    flag: "--faults",
+                    expected: "none, crash, straggler, rack or all"
+                })
+            );
+        }
+        assert_eq!(
+            parse(&argv(&["fleet", "--faults", "crash"])),
+            Err(CliError::FlagNotApplicable { flag: "--faults", artifact: "fleet".into() })
+        );
     }
 
     #[test]

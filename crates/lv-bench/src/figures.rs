@@ -58,7 +58,7 @@ fn l2_plan(id: &str, model: Model, vlen: usize, scale: f64) -> SweepPlan {
 /// default seed and no tracing (see `repro --help` text for ids).
 pub fn run_experiment(id: &str, scale: f64, force: bool) -> Result<(), BenchError> {
     let exec = Executor::new(plan::ExecOptions { force, verbose: true, ..Default::default() });
-    run_experiment_traced(id, scale, &exec, &TraceCtx::disabled(), 42)
+    run_experiment_traced(id, scale, &exec, &TraceCtx::disabled(), 42, None)
 }
 
 /// [`run_experiment`] against a shared executor and trace context: each
@@ -66,14 +66,17 @@ pub fn run_experiment(id: &str, scale: f64, force: bool) -> Result<(), BenchErro
 /// goes through the executor's cell cache (so `all` simulates each unique
 /// cell at most once), and `fig1`/`fig2`/`serve` run an extra traced
 /// workload when the context is recording. `seed` drives the stochastic
-/// artifacts (`serve` and `fleet` arrival processes, the `check` sweep);
-/// grid cells are deterministic and ignore it.
+/// artifacts (`serve`/`fleet`/`chaos` arrival and fault processes, the
+/// `check` sweep); grid cells are deterministic and ignore it. `faults`
+/// restricts the `chaos` sweep to one scenario (other artifacts ignore
+/// it).
 pub fn run_experiment_traced(
     id: &str,
     scale: f64,
     exec: &Executor,
     ctx: &TraceCtx,
     seed: u64,
+    faults: Option<lv_fleet::FaultScenario>,
 ) -> Result<(), BenchError> {
     let span = ctx.artifact_begin(id);
     let run = |p: &SweepPlan| exec.run(p, ctx).map(|o| o.rows);
@@ -119,6 +122,7 @@ pub fn run_experiment_traced(
         "fig12" => fig12(&run(&plan::paper2_plan(scale))?)?,
         "serve" => crate::serving::serve_report(&run(&plan::paper2_plan(scale))?, ctx, seed),
         "fleet" => crate::fleet::fleet_report(scale, exec, ctx, seed)?,
+        "chaos" => crate::chaos::chaos_report(scale, exec, ctx, seed, faults)?,
         "p1-vl" => p1_vl(&run(&plan::p1_dec_plan(scale).l2s(&[1]))?),
         "p1-cache" => p1_cache(&run(&plan::p1_dec_plan(scale))?),
         "p1-lanes" => p1_lanes(&run(&plan::p1_lanes_plan(scale))?),
@@ -152,7 +156,7 @@ pub fn run_experiment_traced(
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                 "dataset", "selector", "fig9", "fig10", "fig11", "fig12", "serve", "fleet",
             ] {
-                run_experiment_traced(e, scale, exec, ctx, seed)?;
+                run_experiment_traced(e, scale, exec, ctx, seed, None)?;
             }
             ctx.artifact_end(span);
             return Ok(());
@@ -168,7 +172,7 @@ pub fn run_experiment_traced(
                 "p1-naive",
                 "p1-roofline",
             ] {
-                run_experiment_traced(e, scale, exec, ctx, seed)?;
+                run_experiment_traced(e, scale, exec, ctx, seed, None)?;
             }
             ctx.artifact_end(span);
             return Ok(());
@@ -181,7 +185,7 @@ pub fn run_experiment_traced(
                 "ablation-unroll",
                 "ablation-contention",
             ] {
-                run_experiment_traced(e, scale, exec, ctx, seed)?;
+                run_experiment_traced(e, scale, exec, ctx, seed, None)?;
             }
             ctx.artifact_end(span);
             return Ok(());

@@ -89,7 +89,14 @@ fn chip_spec(
         .backend(lv_models::BackendKind::Fast);
     let rows = exec.run(&plan, ctx)?.rows;
     let service_s = CLASSES.iter().map(|m| stack_seconds(&rows, m, vlen, part)).collect();
-    Ok(ChipSpec { name: name.into(), vlen_bits: vlen, l2_mib: shared_l2, replicas, service_s })
+    Ok(ChipSpec {
+        name: name.into(),
+        vlen_bits: vlen,
+        l2_mib: shared_l2,
+        replicas,
+        service_s,
+        degraded_service_s: None,
+    })
 }
 
 /// The arrival trace for one sweep point: Poisson at `rate`, modulated
@@ -278,6 +285,7 @@ pub fn fleet_report(
         sustain_s: 20.0 * mean_svc(knee),
         max_replicas: 4,
         cooldown_s: 40.0 * mean_svc(knee),
+        scale_down: None,
     };
     let overload = workload(1.2 * het_capacity, seed + 1000);
     let fixed =

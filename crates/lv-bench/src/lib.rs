@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod chaos;
 pub mod chart;
 pub mod check;
 pub mod cli;

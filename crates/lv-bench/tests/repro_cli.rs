@@ -163,6 +163,49 @@ fn traced_fig1_layer_spans_reconcile_with_roofline_csv() {
     );
 }
 
+/// `--faults` validation: an unknown scenario exits 2 naming the flag and
+/// the accepted values, and the flag is rejected on artifacts that don't
+/// take it.
+#[test]
+fn faults_flag_validates_scenario_names() {
+    let out = repro().args(["chaos", "--faults", "nope"]).output().expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--faults"), "stderr must name the flag: {err}");
+    assert!(
+        err.contains("none, crash, straggler, rack or all"),
+        "stderr must list valid scenarios: {err}"
+    );
+    assert!(err.contains("valid artifacts"), "usage listing follows: {err}");
+
+    let out = repro().args(["fleet", "--faults", "crash"]).output().expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--faults"), "stderr: {err}");
+}
+
+/// The chaos artifact is a pure function of `--seed`: two runs with the
+/// same seed (the second fully warm-cached) produce byte-identical CSVs,
+/// and a different seed produces a different one.
+#[test]
+fn chaos_is_bit_identical_per_seed() {
+    let dir = temp_dir("chaos");
+    let run = |seed: &str| {
+        let out = repro()
+            .env("LVCONV_RESULTS", &dir)
+            .args(["chaos", "--scale", "0.25", "--seed", seed, "--faults", "crash"])
+            .output()
+            .expect("spawn repro");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        std::fs::read(dir.join("chaos.csv")).expect("chaos.csv written")
+    };
+    let first = run("1");
+    let second = run("1");
+    assert_eq!(first, second, "same seed must reproduce chaos.csv byte-for-byte");
+    let other = run("2");
+    assert_ne!(first, other, "a different seed must resample the fault plan");
+}
+
 /// `--backend` validation and the fast-tier pipeline end to end: an
 /// unknown tier exits 2 with the flag named, a fast-tier grid run
 /// completes quickly, and a warm rerun is served entirely from the

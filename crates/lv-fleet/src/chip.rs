@@ -23,6 +23,11 @@ pub struct ChipSpec {
     /// (index = class id; typically the Optimal-policy conv-stack time at
     /// the chip's per-replica L2 partition).
     pub service_s: Vec<f64>,
+    /// Optional cheaper per-class service times for graceful degradation
+    /// (e.g. the same network at reduced input resolution). Index-aligned
+    /// with [`ChipSpec::service_s`]; each entry must not exceed the
+    /// full-quality time.
+    pub degraded_service_s: Option<Vec<f64>>,
 }
 
 impl ChipSpec {
@@ -43,7 +48,27 @@ impl ChipSpec {
                 return Err(FleetError::InvalidServiceTime(s));
             }
         }
+        if let Some(deg) = &self.degraded_service_s {
+            if deg.len() != classes {
+                return Err(FleetError::ClassMismatch {
+                    chip: self.name.clone(),
+                    got: deg.len(),
+                    want: classes,
+                });
+            }
+            for (&d, &s) in deg.iter().zip(&self.service_s) {
+                if !d.is_finite() || d <= 0.0 || d > s {
+                    return Err(FleetError::InvalidServiceTime(d));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Degraded service time for `class`, if this chip has a degraded
+    /// algorithm for it.
+    pub fn degraded_s(&self, class: usize) -> Option<f64> {
+        self.degraded_service_s.as_ref().map(|d| d[class])
     }
 
     /// Chip area in mm² at `replicas` cores (7 nm model from `lv-area`).
@@ -74,6 +99,7 @@ mod tests {
             l2_mib: 4,
             replicas: 4,
             service_s: vec![0.040, 0.020],
+            degraded_service_s: None,
         }
     }
 
@@ -99,6 +125,19 @@ mod tests {
         assert!((c.area_mm2(1) - 2.35).abs() < 0.01);
         // More replicas, more area.
         assert!(chip().area_mm2(4) > chip().area_mm2(2));
+    }
+
+    #[test]
+    fn degraded_table_is_validated() {
+        let mut c = chip();
+        c.degraded_service_s = Some(vec![0.020, 0.010]);
+        assert!(c.validate(2).is_ok());
+        assert_eq!(c.degraded_s(0), Some(0.020));
+        c.degraded_service_s = Some(vec![0.020]);
+        assert!(matches!(c.validate(2), Err(FleetError::ClassMismatch { .. })));
+        // Degraded slower than full quality makes no sense.
+        c.degraded_service_s = Some(vec![0.050, 0.010]);
+        assert!(matches!(c.validate(2), Err(FleetError::InvalidServiceTime(_))));
     }
 
     #[test]

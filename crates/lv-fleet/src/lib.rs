@@ -22,26 +22,43 @@
 //!   each arrival, route, optionally reject at admission when the
 //!   expected delay already busts the SLO, and let a reactive
 //!   [`autoscale::Autoscaler`] add replicas on sustained queue-depth
-//!   breach. Fleet percentiles are the exact
-//!   [`lv_serving::LatencyHistogram::merge`] of every node's per-replica
-//!   histograms.
+//!   breach (and, opt-in, retire them when idle). Fleet percentiles are
+//!   the exact [`lv_serving::LatencyHistogram::merge`] of every node's
+//!   per-replica histograms.
+//! * [`fault::FaultPlan`] — deterministic seeded fault injection:
+//!   crash/restart windows, straggler slowdowns, and a correlated rack
+//!   outage, expanded up front into a timestamped event list so every
+//!   chaos run is a pure function of its seed.
+//! * [`health`] / [`tolerance`] — envoy-style outlier ejection plus
+//!   deadline-budgeted retries, tail hedging, and graceful degradation;
+//!   all off by default so the fault-oblivious baseline is preserved
+//!   bit-for-bit.
 //!
 //! Everything is single-threaded and seeded: a fleet run is a pure
-//! function of (chips, policy, workload trace), independent of host
-//! parallelism.
+//! function of (chips, policy, workload trace, fault plan), independent
+//! of host parallelism.
 
 #![warn(missing_docs)]
 
 pub mod autoscale;
 pub mod chip;
+pub mod fault;
+pub mod health;
 pub mod router;
 pub mod sim;
+pub mod tolerance;
 pub mod workload;
 
-pub use autoscale::{AutoscalePolicy, Autoscaler, ScaleEvent};
+pub use autoscale::{AutoscalePolicy, Autoscaler, ScaleDown, ScaleEvent};
 pub use chip::ChipSpec;
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultScenario, FaultSpec, ALL_SCENARIOS};
+pub use health::{HealthPolicy, HealthTracker};
 pub use router::{Policy, Router, ALL_POLICIES};
-pub use sim::{FleetConfig, FleetDrops, FleetNode, FleetReport, FleetSim, NodeSummary};
+pub use sim::{
+    AttainSlice, FleetConfig, FleetDrops, FleetNode, FleetReport, FleetSim, NodeSummary,
+    ResilienceStats,
+};
+pub use tolerance::{DegradePolicy, FaultTolerance, HedgePolicy, RetryPolicy};
 pub use workload::{Arrival, Bursts, Diurnal, WorkloadSpec};
 
 /// Why a fleet simulation could not be constructed.
@@ -72,6 +89,10 @@ pub enum FleetError {
     InvalidBursts,
     /// Non-positive or non-finite SLO.
     InvalidSlo(f64),
+    /// A fault-injection spec with degenerate parameters.
+    InvalidFaults(&'static str),
+    /// A fault-tolerance policy with degenerate parameters.
+    InvalidTolerance(&'static str),
     /// A per-chip server config was rejected by `lv-serving`.
     Serving(lv_serving::ServingError),
 }
@@ -92,6 +113,8 @@ impl std::fmt::Display for FleetError {
                 write!(f, "burst factor must be >= 1 with positive interval and duration")
             }
             Self::InvalidSlo(v) => write!(f, "SLO must be positive, got {v}"),
+            Self::InvalidFaults(m) => write!(f, "fault spec: {m}"),
+            Self::InvalidTolerance(m) => write!(f, "fault tolerance: {m}"),
             Self::Serving(e) => write!(f, "per-chip server config: {e}"),
         }
     }

@@ -65,25 +65,35 @@ impl Router {
         self.policy
     }
 
-    /// Choose a node for a `class` request arriving at `now_s`.
-    pub fn pick(&mut self, nodes: &[FleetNode], class: usize, now_s: f64) -> usize {
-        debug_assert!(!nodes.is_empty());
+    /// Choose a node for a `class` request arriving at `now_s`, among the
+    /// `eligible` node indices (health-aware callers pass the non-ejected
+    /// live subset; passing every index reproduces the fault-oblivious
+    /// behavior bit-for-bit, including the power-of-two RNG stream).
+    pub fn pick(
+        &mut self,
+        nodes: &[FleetNode],
+        eligible: &[usize],
+        class: usize,
+        now_s: f64,
+    ) -> usize {
+        debug_assert!(!eligible.is_empty());
         match self.policy {
             Policy::RoundRobin => {
-                let i = self.rr_next % nodes.len();
+                let i = eligible[self.rr_next % eligible.len()];
                 self.rr_next = self.rr_next.wrapping_add(1);
                 i
             }
-            Policy::JoinShortestQueue => shortest_queue(nodes, 0..nodes.len()),
+            Policy::JoinShortestQueue => shortest_queue(nodes, eligible),
             Policy::PowerOfTwoChoices => {
-                if nodes.len() == 1 {
-                    return 0;
+                if eligible.len() == 1 {
+                    return eligible[0];
                 }
-                let a = self.rng.gen_range(0..nodes.len());
-                let mut b = self.rng.gen_range(0..nodes.len() - 1);
-                if b >= a {
-                    b += 1;
+                let ai = self.rng.gen_range(0..eligible.len());
+                let mut bi = self.rng.gen_range(0..eligible.len() - 1);
+                if bi >= ai {
+                    bi += 1;
                 }
+                let (a, b) = (eligible[ai], eligible[bi]);
                 if nodes[b].queue_len() < nodes[a].queue_len() {
                     b
                 } else {
@@ -91,9 +101,17 @@ impl Router {
                 }
             }
             Policy::ModelAffinity => {
-                let best_svc =
-                    nodes.iter().map(|n| n.service_s(class)).fold(f64::INFINITY, f64::min);
-                let preferred = (0..nodes.len())
+                // NaN-safe minimum over the per-class service times (the
+                // PR 1 `total_cmp` convention; a float fold through
+                // f64::min hid ties behind evaluation order).
+                let best_svc = eligible
+                    .iter()
+                    .map(|&i| nodes[i].service_s(class))
+                    .min_by(f64::total_cmp)
+                    .expect("non-empty eligible set");
+                let preferred = eligible
+                    .iter()
+                    .copied()
                     .filter(|&i| nodes[i].service_s(class) <= 1.25 * best_svc)
                     .min_by(|&a, &b| {
                         nodes[a]
@@ -102,14 +120,16 @@ impl Router {
                     })
                     .expect("at least one node within 1.25x of the best");
                 if nodes[preferred].queue_full() {
-                    // Spill anywhere: the globally least expected delay.
-                    (0..nodes.len())
+                    // Spill anywhere eligible: the least expected delay.
+                    eligible
+                        .iter()
+                        .copied()
                         .min_by(|&a, &b| {
                             nodes[a]
                                 .expected_delay_s(class, now_s)
                                 .total_cmp(&nodes[b].expected_delay_s(class, now_s))
                         })
-                        .expect("non-empty fleet")
+                        .expect("non-empty eligible set")
                 } else {
                     preferred
                 }
@@ -118,6 +138,66 @@ impl Router {
     }
 }
 
-fn shortest_queue(nodes: &[FleetNode], range: std::ops::Range<usize>) -> usize {
-    range.min_by_key(|&i| (nodes[i].queue_len(), i)).expect("non-empty fleet")
+fn shortest_queue(nodes: &[FleetNode], eligible: &[usize]) -> usize {
+    eligible.iter().copied().min_by_key(|&i| (nodes[i].queue_len(), i)).expect("non-empty fleet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipSpec;
+    use lv_serving::NodeConfig;
+
+    /// Identical chips: every service time and expected delay ties, so
+    /// any ordering bug (or a NaN-hiding float fold) shows up as a
+    /// nondeterministic or out-of-slice pick.
+    fn tied_nodes(n: usize) -> Vec<FleetNode> {
+        (0..n)
+            .map(|i| {
+                let spec = ChipSpec {
+                    name: format!("n{i}"),
+                    vlen_bits: 2048,
+                    l2_mib: 4,
+                    replicas: 1,
+                    service_s: vec![0.020],
+                    degraded_service_s: None,
+                };
+                FleetNode::new(spec, NodeConfig::basic(1, 8)).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_eligible_index() {
+        let nodes = tied_nodes(3);
+        let all = [0, 1, 2];
+        let mut jsq = Router::new(Policy::JoinShortestQueue, 1);
+        assert_eq!(jsq.pick(&nodes, &all, 0, 0.0), 0);
+        assert_eq!(jsq.pick(&nodes, &[1, 2], 0, 0.0), 1);
+        let mut aff = Router::new(Policy::ModelAffinity, 1);
+        assert_eq!(aff.pick(&nodes, &all, 0, 0.0), 0, "identical chips tie to index 0");
+        assert_eq!(aff.pick(&nodes, &[2], 0, 0.0), 2, "eligibility slice is respected");
+    }
+
+    #[test]
+    fn round_robin_cycles_within_the_eligible_set() {
+        let nodes = tied_nodes(3);
+        let mut rr = Router::new(Policy::RoundRobin, 1);
+        assert_eq!(rr.pick(&nodes, &[0, 2], 0, 0.0), 0);
+        assert_eq!(rr.pick(&nodes, &[0, 2], 0, 0.0), 2);
+        assert_eq!(rr.pick(&nodes, &[0, 2], 0, 0.0), 0);
+    }
+
+    #[test]
+    fn power_of_two_only_picks_eligible_nodes() {
+        let nodes = tied_nodes(4);
+        let mut p2c = Router::new(Policy::PowerOfTwoChoices, 7);
+        for _ in 0..200 {
+            let i = p2c.pick(&nodes, &[1, 3], 0, 0.0);
+            assert!(i == 1 || i == 3, "picked ineligible node {i}");
+        }
+        // A single eligible node is returned without touching the RNG
+        // stream asymmetrically.
+        assert_eq!(p2c.pick(&nodes, &[2], 0, 0.0), 2);
+    }
 }

@@ -1,0 +1,114 @@
+//! Property-based tests of the fault-tolerant fleet loop's two core
+//! invariants, fuzzed over seeds, scenarios, and load levels:
+//!
+//! 1. **Deadline-budget safety** — with strict deadlines, no request
+//!    completes later than `arrival + deadline`, no matter how many
+//!    retried or hedged copies were dispatched along the way.
+//! 2. **Request conservation** — every offered request resolves exactly
+//!    once: `completed + drops.total() == offered`, under every fault
+//!    scenario, with and without the tolerance stack engaged.
+
+use lv_fleet::{
+    ChipSpec, DegradePolicy, FaultScenario, FaultSpec, FaultTolerance, FleetConfig, FleetSim,
+    HedgePolicy, Policy, WorkloadSpec, ALL_SCENARIOS,
+};
+use proptest::prelude::*;
+
+fn chips() -> Vec<ChipSpec> {
+    let mk = |name: &str, vlen: usize, svc: [f64; 2]| ChipSpec {
+        name: name.into(),
+        vlen_bits: vlen,
+        l2_mib: 4,
+        replicas: 2,
+        service_s: svc.to_vec(),
+        degraded_service_s: Some(svc.iter().map(|s| s / 2.0).collect()),
+    };
+    vec![
+        mk("small", 1024, [0.060, 0.030]),
+        mk("knee", 2048, [0.040, 0.020]),
+        mk("big", 4096, [0.025, 0.012]),
+    ]
+}
+
+fn scenario_from(idx: usize) -> FaultScenario {
+    ALL_SCENARIOS[idx % ALL_SCENARIOS.len()]
+}
+
+fn full_tolerance() -> FaultTolerance {
+    FaultTolerance {
+        hedge: Some(HedgePolicy { min_delay_s: 0.04, quantile: 0.99, min_samples: 50 }),
+        degrade: Some(DegradePolicy::basic()),
+        ..FaultTolerance::recovering()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// No completion ever lands past its request's deadline budget.
+    #[test]
+    fn strict_deadline_bounds_total_latency(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        scenario_idx in 0usize..ALL_SCENARIOS.len(),
+        rate in 50f64..250.0,
+    ) {
+        let deadline = 0.35;
+        let wl = WorkloadSpec::basic(rate, 1500, 2, seed);
+        let cfg = FleetConfig {
+            faults: Some(FaultSpec::scenario(
+                scenario_from(scenario_idx),
+                fault_seed,
+                1500.0 / rate,
+            )),
+            tolerance: full_tolerance(),
+            deadline_s: Some(deadline),
+            strict_deadline: true,
+            admission_control: true,
+            ..FleetConfig::basic(chips(), Policy::PowerOfTwoChoices, wl, deadline)
+        };
+        let r = FleetSim::new(cfg).unwrap().run();
+        prop_assert!(
+            r.latency.max_s <= deadline + 1e-9,
+            "{}: completion at {} exceeds the {deadline}s budget",
+            scenario_from(scenario_idx).name(),
+            r.latency.max_s,
+        );
+    }
+
+    /// `completed + dropped == offered` under every fault scenario.
+    #[test]
+    fn every_request_is_conserved(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        scenario_idx in 0usize..ALL_SCENARIOS.len(),
+        rate in 50f64..250.0,
+        tolerant in any::<bool>(),
+    ) {
+        let wl = WorkloadSpec::basic(rate, 1500, 2, seed);
+        let cfg = FleetConfig {
+            faults: Some(FaultSpec::scenario(
+                scenario_from(scenario_idx),
+                fault_seed,
+                1500.0 / rate,
+            )),
+            tolerance: if tolerant { full_tolerance() } else { FaultTolerance::none() },
+            deadline_s: Some(0.4),
+            admission_control: true,
+            ..FleetConfig::basic(chips(), Policy::ModelAffinity, wl, 0.3)
+        };
+        let r = FleetSim::new(cfg).unwrap().run();
+        prop_assert_eq!(
+            r.completed as u64 + r.drops.total(),
+            r.requests as u64,
+            "{} tolerant={}: {} completed, {:?}",
+            scenario_from(scenario_idx).name(),
+            tolerant,
+            r.completed,
+            r.drops
+        );
+        let offered: u64 = r.attain_series.iter().map(|s| s.offered).sum();
+        prop_assert_eq!(offered, r.requests as u64);
+        prop_assert!((r.availability - r.completed as f64 / r.requests as f64).abs() < 1e-12);
+    }
+}

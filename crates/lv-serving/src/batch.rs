@@ -49,7 +49,8 @@ impl Default for BatchPolicy {
 pub fn batch_service_time(unit_costs_s: &[f64], setup_frac: f64) -> f64 {
     assert!(!unit_costs_s.is_empty(), "empty batch");
     assert!((0.0..1.0).contains(&setup_frac), "setup_frac must be in [0,1)");
-    let max = unit_costs_s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max =
+        unit_costs_s.iter().copied().max_by(f64::total_cmp).expect("non-empty batch asserted");
     let sum: f64 = unit_costs_s.iter().sum();
     setup_frac * max + (1.0 - setup_frac) * sum
 }

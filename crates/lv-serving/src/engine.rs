@@ -137,6 +137,7 @@ impl EngineConfig {
             deadline_s: self.deadline_s,
             batch: self.batch,
             batch_setup_frac: self.batch_setup_frac,
+            strict_deadline: false,
         }
     }
 }

@@ -88,6 +88,8 @@ pub enum ServingError {
     InvalidSetupFrac(f64),
     /// Non-positive or non-finite relative deadline.
     InvalidDeadline(f64),
+    /// `strict_deadline` requires a deadline to enforce.
+    StrictWithoutDeadline,
 }
 
 impl std::fmt::Display for ServingError {
@@ -103,6 +105,9 @@ impl std::fmt::Display for ServingError {
             Self::ZeroBatch => write!(f, "max_batch must be >= 1"),
             Self::InvalidSetupFrac(v) => write!(f, "batch_setup_frac must be in [0,1), got {v}"),
             Self::InvalidDeadline(v) => write!(f, "deadline must be positive, got {v}"),
+            Self::StrictWithoutDeadline => {
+                write!(f, "strict_deadline requires deadline_s to be set")
+            }
         }
     }
 }

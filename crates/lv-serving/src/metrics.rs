@@ -106,6 +106,8 @@ pub enum DropReason {
     QueueFull,
     /// The request's deadline expired before service could start.
     DeadlineExceeded,
+    /// The node crashed while the request was queued or in flight.
+    NodeFailed,
 }
 
 /// Drop accounting by reason.
@@ -115,6 +117,9 @@ pub struct DropStats {
     pub queue_full: u64,
     /// Requests shed because their deadline passed while queued.
     pub deadline_exceeded: u64,
+    /// Requests lost to a node crash (queued or in flight at the time).
+    #[serde(default)]
+    pub failed: u64,
 }
 
 impl DropStats {
@@ -123,12 +128,13 @@ impl DropStats {
         match reason {
             DropReason::QueueFull => self.queue_full += 1,
             DropReason::DeadlineExceeded => self.deadline_exceeded += 1,
+            DropReason::NodeFailed => self.failed += 1,
         }
     }
 
     /// Total drops across reasons.
     pub fn total(&self) -> u64 {
-        self.queue_full + self.deadline_exceeded
+        self.queue_full + self.deadline_exceeded + self.failed
     }
 }
 

@@ -36,6 +36,11 @@ pub struct NodeConfig {
     /// Per-launch setup fraction, `[0, 1)` (see
     /// [`crate::batch::batch_service_time`]).
     pub batch_setup_frac: f64,
+    /// With a deadline set, also shed at dispatch when the head request
+    /// could not *finish* by its deadline (queue-wait shedding alone lets
+    /// a request start late and overshoot). Exact for unbatched nodes;
+    /// with batching it uses the head's unit cost as the estimate.
+    pub strict_deadline: bool,
 }
 
 impl NodeConfig {
@@ -47,6 +52,7 @@ impl NodeConfig {
             deadline_s: None,
             batch: BatchPolicy::none(),
             batch_setup_frac: 0.0,
+            strict_deadline: false,
         }
     }
 
@@ -69,6 +75,8 @@ impl NodeConfig {
             if !d.is_finite() || d <= 0.0 {
                 return Err(ServingError::InvalidDeadline(d));
             }
+        } else if self.strict_deadline {
+            return Err(ServingError::StrictWithoutDeadline);
         }
         Ok(())
     }
@@ -98,11 +106,21 @@ pub enum NodeEvent {
         done_s: f64,
         /// Batch service time.
         service_s: f64,
-        /// The requests served (latencies already recorded).
+        /// The requests served (latencies are recorded when the batch
+        /// *completes*, so a crash before `done_s` revokes them).
         requests: Vec<QueuedRequest>,
         /// Queue depth after the batch was popped.
         queue_len_after: usize,
     },
+}
+
+/// A launched batch that has not completed yet. Kept per replica so a
+/// crash can revoke it (requests lost, busy time refunded) instead of
+/// counting work the hardware never finished.
+#[derive(Debug, Clone)]
+struct InFlight {
+    done_s: f64,
+    requests: Vec<QueuedRequest>,
 }
 
 /// One serving node (one chip's worth of co-located replicas) that an
@@ -119,6 +137,9 @@ pub struct EngineNode {
     /// When each provisioned replica frees up; only `[..active]` receive
     /// new batches (the autoscaler moves `active`, history is kept).
     free_at: Vec<f64>,
+    /// In-flight batch per provisioned replica (index-aligned with
+    /// `free_at`); `None` when idle or already finalized.
+    in_flight: Vec<Option<InFlight>>,
     active: usize,
     counters: Vec<ReplicaCounters>,
     latencies: Vec<LatencyHistogram>,
@@ -128,6 +149,11 @@ pub struct EngineNode {
     last_completion: f64,
     max_queue_depth: usize,
     peak_replicas: usize,
+    /// Node is serving; a crashed node ignores time and refuses offers
+    /// until restarted.
+    up: bool,
+    /// Service-time multiplier (≥ 1 models a straggler; 1 is nominal).
+    slowdown: f64,
 }
 
 impl EngineNode {
@@ -138,6 +164,7 @@ impl EngineNode {
         Ok(Self {
             queue: AdmissionQueue::new(cfg.queue_capacity, cfg.deadline_s),
             free_at: vec![0.0; n],
+            in_flight: (0..n).map(|_| None).collect(),
             active: n,
             counters: vec![ReplicaCounters::default(); n],
             latencies: vec![LatencyHistogram::new(); n],
@@ -147,6 +174,8 @@ impl EngineNode {
             last_completion: 0.0,
             max_queue_depth: 0,
             peak_replicas: n,
+            up: true,
+            slowdown: 1.0,
             cfg,
         })
     }
@@ -179,12 +208,34 @@ impl EngineNode {
         }
     }
 
+    /// Record the latencies of every in-flight batch that completes at or
+    /// before `t_s`. Completion, not dispatch, is when a request counts as
+    /// served — a crash between the two revokes the batch instead.
+    fn finalize_up_to(&mut self, t_s: f64) {
+        for ri in 0..self.in_flight.len() {
+            let done = match &self.in_flight[ri] {
+                Some(fl) if fl.done_s <= t_s => fl.done_s,
+                _ => continue,
+            };
+            let fl = self.in_flight[ri].take().expect("checked above");
+            for r in &fl.requests {
+                self.latencies[ri].record(done - r.arrival_s);
+            }
+            self.last_completion = self.last_completion.max(done);
+        }
+    }
+
     /// Process every dispatch (and deadline shed) that becomes eligible
     /// strictly before `t_s`, returning what happened in order. Dispatches
     /// exactly at `t_s` are left pending so an arrival at `t_s` can still
     /// join the batch.
     pub fn advance(&mut self, t_s: f64) -> Vec<NodeEvent> {
         let mut events = Vec::new();
+        if !self.up {
+            // A crashed node holds no queue or in-flight work; time just
+            // passes until `restart`.
+            return events;
+        }
         loop {
             let (ri, free) = self.earliest_free();
             let Some(d) = self.dispatch_at(free) else { break };
@@ -201,21 +252,45 @@ impl EngineNode {
                 events.push(NodeEvent::Shed { at_s: d, shed, queue_len_after: self.queue.len() });
                 continue;
             }
+            // Strict mode: also shed heads that would *finish* past their
+            // deadline (start-time shedding alone lets them overshoot).
+            if self.cfg.strict_deadline {
+                let deadline = self.cfg.deadline_s.expect("validated: strict implies deadline");
+                let mut hopeless = Vec::new();
+                while let Some(h) = self.queue.head() {
+                    if d + h.unit_cost_s * self.slowdown > h.arrival_s + deadline {
+                        hopeless.push(self.queue.pop_batch(1).remove(0));
+                    } else {
+                        break;
+                    }
+                }
+                if !hopeless.is_empty() {
+                    for _ in &hopeless {
+                        self.drops.record(DropReason::DeadlineExceeded);
+                    }
+                    events.push(NodeEvent::Shed {
+                        at_s: d,
+                        shed: hopeless,
+                        queue_len_after: self.queue.len(),
+                    });
+                    continue;
+                }
+            }
             let batch = self.queue.pop_batch(self.cfg.batch.max_batch);
             debug_assert!(!batch.is_empty());
             let costs: Vec<f64> = batch.iter().map(|r| r.unit_cost_s).collect();
-            let svc = batch_service_time(&costs, self.cfg.batch_setup_frac);
+            let svc = batch_service_time(&costs, self.cfg.batch_setup_frac) * self.slowdown;
             let done = d + svc;
+            // The replica frees at `d`, so its previous batch (if any)
+            // completed by then — finalize before overwriting the slot.
+            self.finalize_up_to(d);
             self.free_at[ri] = done;
+            self.in_flight[ri] = Some(InFlight { done_s: done, requests: batch.clone() });
             self.counters[ri].batches += 1;
             self.counters[ri].requests += batch.len() as u64;
             self.counters[ri].busy_s += svc;
             self.batches += 1;
             self.batched_requests += batch.len() as u64;
-            for r in &batch {
-                self.latencies[ri].record(done - r.arrival_s);
-            }
-            self.last_completion = self.last_completion.max(done);
             events.push(NodeEvent::Batch {
                 replica: ri,
                 at_s: d,
@@ -225,6 +300,7 @@ impl EngineNode {
                 queue_len_after: self.queue.len(),
             });
         }
+        self.finalize_up_to(t_s);
         events
     }
 
@@ -234,8 +310,13 @@ impl EngineNode {
     }
 
     /// Offer one request. `false` means the bounded queue rejected it (the
-    /// drop is already counted as [`DropReason::QueueFull`]).
+    /// drop is already counted as [`DropReason::QueueFull`]) or the node is
+    /// down (counted as [`DropReason::NodeFailed`]).
     pub fn offer(&mut self, req: QueuedRequest) -> bool {
+        if !self.up {
+            self.drops.record(DropReason::NodeFailed);
+            return false;
+        }
         if self.queue.try_admit(req) {
             self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
             true
@@ -243,6 +324,72 @@ impl EngineNode {
             self.drops.record(DropReason::QueueFull);
             false
         }
+    }
+
+    /// Crash the node at `now_s`: batches already complete by `now_s` are
+    /// finalized first, then every in-flight batch is revoked (unexecuted
+    /// busy time refunded, its dispatch counters rolled back) and the
+    /// queue is emptied. Everything lost is counted under
+    /// [`DropReason::NodeFailed`] and returned so the caller can retry or
+    /// account it. Idempotent while down.
+    pub fn crash(&mut self, now_s: f64) -> Vec<QueuedRequest> {
+        if !self.up {
+            return Vec::new();
+        }
+        self.finalize_up_to(now_s);
+        let mut lost = Vec::new();
+        for ri in 0..self.free_at.len() {
+            if let Some(fl) = self.in_flight[ri].take() {
+                // done_s > now_s here (earlier completions just finalized):
+                // the batch dies mid-service.
+                self.counters[ri].busy_s -= fl.done_s - now_s;
+                self.counters[ri].batches -= 1;
+                self.counters[ri].requests -= fl.requests.len() as u64;
+                self.batches -= 1;
+                self.batched_requests -= fl.requests.len() as u64;
+                lost.extend(fl.requests);
+            }
+            self.free_at[ri] = now_s;
+        }
+        lost.extend(self.queue.drain_all());
+        for _ in &lost {
+            self.drops.record(DropReason::NodeFailed);
+        }
+        self.up = false;
+        lost
+    }
+
+    /// Bring a crashed node back at `now_s` with every replica idle.
+    pub fn restart(&mut self, now_s: f64) {
+        self.up = true;
+        for f in &mut self.free_at {
+            *f = f.max(now_s);
+        }
+    }
+
+    /// Whether the node is serving (not crashed).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Set the service-time multiplier (straggler injection): batches
+    /// dispatched from now on run `m`× their nominal time. `1.0` restores
+    /// nominal speed.
+    pub fn set_slowdown(&mut self, m: f64) {
+        assert!(m.is_finite() && m > 0.0, "slowdown must be positive, got {m}");
+        self.slowdown = m;
+    }
+
+    /// Current service-time multiplier.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Remove a still-queued request by id (a hedged duplicate whose
+    /// sibling won). `false` if it already dispatched or was never here;
+    /// cancellation is not a drop.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        self.queue.cancel(id).is_some()
     }
 
     /// Change the active replica count at time `now_s`. Scaling up brings
@@ -254,6 +401,7 @@ impl EngineNode {
         let replicas = replicas.max(1);
         while self.free_at.len() < replicas {
             self.free_at.push(now_s);
+            self.in_flight.push(None);
             self.counters.push(ReplicaCounters::default());
             self.latencies.push(LatencyHistogram::new());
         }
@@ -286,7 +434,7 @@ impl EngineNode {
     /// the active replicas. A routing/admission estimate, not a bound.
     pub fn expected_wait_s(&self, now_s: f64) -> f64 {
         let (_, free) = self.earliest_free();
-        (free - now_s).max(0.0) + self.queue.total_cost_s() / self.active as f64
+        (free - now_s).max(0.0) + self.slowdown * self.queue.total_cost_s() / self.active as f64
     }
 
     /// Drop accounting so far.
@@ -455,6 +603,150 @@ mod tests {
         assert_eq!(merged.len(), 30);
         // Three replicas all saw work.
         assert!(n.latencies().iter().all(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn crash_conserves_every_offered_request() {
+        // 2 replicas, slow requests: at crash time some are in flight,
+        // some queued, some already complete. offered = completed + drops.
+        let mut n = EngineNode::new(NodeConfig::basic(2, 64)).unwrap();
+        for i in 0..12u64 {
+            let t = i as f64 * 0.05;
+            n.advance(t);
+            assert!(n.offer(req(i, t, 0.4)));
+        }
+        n.advance(0.65);
+        let done_before = n.completed();
+        let lost = n.crash(0.65);
+        assert!(!n.is_up());
+        assert!(!lost.is_empty(), "crash mid-run must strand work");
+        assert_eq!(n.queue_len(), 0, "crash empties the queue");
+        assert_eq!(n.drops().failed, lost.len() as u64);
+        assert_eq!(done_before + lost.len(), 12, "offered = completed + failed");
+        assert_eq!(n.completed(), done_before, "crash must not mint completions");
+        // Down node refuses offers and never dispatches.
+        assert!(!n.offer(req(99, 0.7, 0.4)));
+        assert_eq!(n.drops().failed, lost.len() as u64 + 1);
+        assert!(n.drain().is_empty());
+        // Counters stay consistent with completions after the rollback.
+        let counted: u64 = n.counters().iter().map(|c| c.requests).sum();
+        assert_eq!(counted as usize, n.completed());
+        // Second crash is a no-op.
+        assert!(n.crash(0.7).is_empty());
+    }
+
+    #[test]
+    fn restart_serves_again_from_idle() {
+        let mut n = EngineNode::new(NodeConfig::basic(1, 8)).unwrap();
+        assert!(n.offer(req(0, 0.0, 1.0)));
+        n.advance(0.1);
+        n.crash(0.5);
+        n.restart(2.0);
+        assert!(n.is_up());
+        assert!(n.offer(req(1, 2.0, 0.25)));
+        let ev = n.drain();
+        assert_eq!(ev.len(), 1);
+        match &ev[0] {
+            NodeEvent::Batch { at_s, done_s, .. } => {
+                assert_eq!(*at_s, 2.0, "restarted replicas are idle, not stuck at old free_at");
+                assert!((done_s - 2.25).abs() < 1e-12);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(n.completed(), 1);
+        assert_eq!(n.drops().failed, 1);
+    }
+
+    #[test]
+    fn slowdown_stretches_service_and_wait_estimates() {
+        let mut n = EngineNode::new(NodeConfig::basic(1, 8)).unwrap();
+        n.set_slowdown(3.0);
+        assert!(n.offer(req(0, 0.0, 0.1)));
+        let mut ev = n.advance(0.05); // dispatches id 0 at t=0
+                                      // In service 0.0→0.3; a queued request waits 0.25 + 3×0.1.
+        assert!(n.offer(req(1, 0.05, 0.1)));
+        let w = n.expected_wait_s(0.05);
+        assert!((w - 0.55).abs() < 1e-9, "wait {w}");
+        n.set_slowdown(1.0);
+        ev.extend(n.drain());
+        let dones: Vec<f64> = ev
+            .iter()
+            .map(|e| match e {
+                NodeEvent::Batch { done_s, .. } => *done_s,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!((dones[0] - 0.3).abs() < 1e-12, "slowed batch: {dones:?}");
+        assert!((dones[1] - 0.4).abs() < 1e-12, "restored speed: {dones:?}");
+    }
+
+    #[test]
+    fn strict_deadline_sheds_requests_that_would_finish_late() {
+        let lax = NodeConfig { deadline_s: Some(0.15), ..NodeConfig::basic(1, 8) };
+        let strict = NodeConfig { strict_deadline: true, ..lax.clone() };
+        assert!(matches!(
+            NodeConfig { deadline_s: None, ..strict.clone() }.validate(),
+            Err(ServingError::StrictWithoutDeadline)
+        ));
+        // Head dispatches at 0.1 (wait 0.1 < deadline) but needs 0.1 more:
+        // finishes at 0.2 > 0.15. Lax serves it late; strict sheds it.
+        let run = |cfg: NodeConfig| {
+            let mut n = EngineNode::new(cfg).unwrap();
+            assert!(n.offer(req(0, 0.0, 0.1)));
+            n.advance(0.01);
+            assert!(n.offer(req(1, 0.0, 0.1)));
+            n.drain();
+            n
+        };
+        let lax_n = run(lax);
+        assert_eq!(lax_n.completed(), 2, "lax mode serves the late request");
+        let strict_n = run(strict);
+        assert_eq!(strict_n.completed(), 1);
+        assert_eq!(strict_n.drops().deadline_exceeded, 1);
+        assert!(
+            strict_n.merged_latency().summary().max_s <= 0.15 + 1e-12,
+            "strict node never completes past the deadline"
+        );
+    }
+
+    #[test]
+    fn cancel_removes_only_queued_copies() {
+        let mut n = EngineNode::new(NodeConfig::basic(1, 8)).unwrap();
+        assert!(n.offer(req(0, 0.0, 0.5)));
+        n.advance(0.1); // id 0 now in flight
+        assert!(n.offer(req(1, 0.1, 0.5)));
+        assert!(!n.cancel(0), "in-flight work cannot be cancelled");
+        assert!(n.cancel(1), "queued work can");
+        assert!(!n.cancel(1), "cancel is one-shot");
+        n.drain();
+        assert_eq!(n.completed(), 1);
+        assert_eq!(n.drops().total(), 0, "cancellation is not a drop");
+    }
+
+    /// Satellite: shrinking the active set must not lose work — in-flight
+    /// batches finish and queued requests are still served by the
+    /// remaining replicas (offered = completed + drops, with no drops
+    /// configured here).
+    #[test]
+    fn scale_down_conserves_in_flight_and_queued_requests() {
+        let mut n = EngineNode::new(NodeConfig::basic(4, 256)).unwrap();
+        for i in 0..40u64 {
+            let t = i as f64 * 0.01;
+            n.advance(t);
+            assert!(n.offer(req(i, t, 0.08)));
+            if i == 20 {
+                // All four replicas have in-flight batches and the queue
+                // is non-empty at this point.
+                n.scale_to(1, t);
+            }
+        }
+        n.drain();
+        assert_eq!(n.active_replicas(), 1);
+        assert_eq!(n.peak_replicas(), 4);
+        assert_eq!(n.completed(), 40, "offered = completed: nothing vanished in the shrink");
+        assert_eq!(n.drops().total(), 0);
+        let counted: u64 = n.counters().iter().map(|c| c.requests).sum();
+        assert_eq!(counted, 40, "per-replica counters agree");
     }
 
     #[test]

@@ -58,6 +58,11 @@ impl AdmissionQueue {
         self.items.front().map(|r| r.arrival_s)
     }
 
+    /// The oldest queued request.
+    pub fn head(&self) -> Option<&QueuedRequest> {
+        self.items.front()
+    }
+
     /// Arrival time of the request at position `idx` (0 = head).
     pub fn arrival_at(&self, idx: usize) -> Option<f64> {
         self.items.get(idx).map(|r| r.arrival_s)
@@ -102,6 +107,19 @@ impl AdmissionQueue {
     pub fn pop_batch(&mut self, max: usize) -> Vec<QueuedRequest> {
         let n = max.min(self.items.len());
         self.items.drain(..n).collect()
+    }
+
+    /// Remove the queued request with this id, if present (hedged
+    /// duplicates are cancelled when another copy wins; not a drop).
+    pub fn cancel(&mut self, id: u64) -> Option<QueuedRequest> {
+        let idx = self.items.iter().position(|r| r.id == id)?;
+        self.items.remove(idx)
+    }
+
+    /// Empty the queue, returning everything that was waiting (node
+    /// crash: the caller accounts the loss).
+    pub fn drain_all(&mut self) -> Vec<QueuedRequest> {
+        self.items.drain(..).collect()
     }
 }
 
